@@ -1,0 +1,82 @@
+// E2/E3 — Algorithm 1 under the exhaustive model checker and the random
+// scheduler.
+//
+// Reported series:
+//   * Algo1Exhaustive/k      — full interleaving exploration of the
+//     Theorem-2 construction (states explored grow with k; all green);
+//   * Algo1UViolation        — counterexample discovery when U fails
+//     (the checker FINDS disagreement — E3);
+//   * Algo1RandomRun/k       — single consensus round cost on the
+//     simulated substrate as k grows.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/algo1.h"
+#include "core/state_class.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+using namespace tokensync;
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(100 + i);
+  return out;
+}
+
+void Algo1Exhaustive(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  std::size_t configs = 0;
+  for (auto _ : state) {
+    Algo1Config cfg = make_algo1(k + 1, k, 9);
+    const auto res =
+        explore_all(cfg, props, cfg.max_own_steps(), /*check_solo=*/false);
+    if (!res.all_ok()) state.SkipWithError("consensus property violated!");
+    configs = res.configs_explored;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(Algo1Exhaustive)->DenseRange(1, 4);
+
+void Algo1UViolation(benchmark::State& state) {
+  // k = 3 spenders with allowances summing to <= balance: U fails, and
+  // the explorer must find an agreement violation.
+  const std::vector<Amount> props{100, 101, 102};
+  bool found = false;
+  for (auto _ : state) {
+    Erc20State q(4, 0, 10);
+    q.set_allowance(0, 1, 4);
+    q.set_allowance(0, 2, 4);
+    Algo1Config cfg(q, 0, 3, {0, 1, 2}, props);
+    const auto res =
+        explore_all(cfg, props, cfg.max_own_steps(), /*check_solo=*/false);
+    found = !res.agreement;
+    if (res.agreement) {
+      state.SkipWithError("U violation NOT detected — regression!");
+    }
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["disagreement_found"] = found ? 1 : 0;
+}
+BENCHMARK(Algo1UViolation);
+
+void Algo1RandomRun(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  Rng rng(7);
+  for (auto _ : state) {
+    Algo1Config cfg = make_algo1(k + 1, k, 1001);
+    auto res = run_random(cfg, rng, {});
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(Algo1RandomRun)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

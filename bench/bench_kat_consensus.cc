@@ -1,0 +1,80 @@
+// E7 — the Guerraoui et al. baseline: consensus from a k-shared account
+// (CN(k-AT) ≥ k), exhaustively explored and randomly scheduled, plus the
+// ERC721/ERC777 Sec.-6 adaptations for comparison.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/erc721_consensus.h"
+#include "core/erc777_consensus.h"
+#include "core/kat_consensus.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+using namespace tokensync;
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(500 + i);
+  return out;
+}
+
+void KatExhaustive(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  std::size_t configs = 0;
+  for (auto _ : state) {
+    KatConsensusConfig cfg(k, props);
+    const auto res =
+        explore_all(cfg, props, cfg.max_own_steps(), /*check_solo=*/false);
+    if (!res.all_ok()) state.SkipWithError("k-AT consensus violated!");
+    configs = res.configs_explored;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(KatExhaustive)->DenseRange(1, 3);
+
+void KatRandomRun(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  Rng rng(5);
+  for (auto _ : state) {
+    KatConsensusConfig cfg(k, props);
+    auto res = run_random(cfg, rng, {});
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(KatRandomRun)->RangeMultiplier(2)->Range(2, 64);
+
+void Erc721RandomRun(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  Rng rng(6);
+  for (auto _ : state) {
+    Erc721ConsensusConfig cfg(k, props);
+    auto res = run_random(cfg, rng, {});
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(Erc721RandomRun)->RangeMultiplier(4)->Range(2, 32);
+
+void Erc777RandomRun(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto props = proposals_for(k);
+  Rng rng(7);
+  for (auto _ : state) {
+    Erc777ConsensusConfig cfg(k, 101, props);
+    auto res = run_random(cfg, rng, {});
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(Erc777RandomRun)->RangeMultiplier(4)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

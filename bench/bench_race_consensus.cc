@@ -1,0 +1,87 @@
+// E9b — hardware Algorithm 1: wait-free consensus latency from the
+// lock-free race token, vs. a mutex-and-flag consensus baseline, across
+// participant counts k.
+//
+// Expected shape: the CAS-based race costs a handful of atomic operations
+// plus a k-length scan, growing mildly and predictably with k; the mutex
+// baseline serializes all participants through one lock.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "atomic/tokens.h"
+
+namespace {
+
+using namespace tokensync;
+
+/// Baseline: first-proposal-wins consensus guarded by a mutex.
+class MutexConsensus {
+ public:
+  Amount propose(Amount v) {
+    const std::scoped_lock lock(mu_);
+    if (!decided_) decided_ = v;
+    return *decided_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::optional<Amount> decided_;
+};
+
+void RaceConsensus(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    HwAlgo1 consensus(k);
+    std::vector<std::thread> ts;
+    std::vector<Amount> decided(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ts.emplace_back(
+          [&, i] { decided[i] = consensus.propose(i, 1000 + i); });
+    }
+    for (auto& t : ts) t.join();
+    for (std::size_t i = 1; i < k; ++i) {
+      if (decided[i] != decided[0]) {
+        state.SkipWithError("agreement violated!");
+      }
+    }
+    benchmark::DoNotOptimize(decided);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(RaceConsensus)->RangeMultiplier(2)->Range(1, 16)->UseRealTime();
+
+void MutexConsensusBaseline(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    MutexConsensus consensus;
+    std::vector<std::thread> ts;
+    std::vector<Amount> decided(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ts.emplace_back(
+          [&, i] { decided[i] = consensus.propose(1000 + i); });
+    }
+    for (auto& t : ts) t.join();
+    benchmark::DoNotOptimize(decided);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(MutexConsensusBaseline)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->UseRealTime();
+
+/// Single-threaded decision-step cost: one CAS on the packed word.
+void RaceDecisionStep(benchmark::State& state) {
+  for (auto _ : state) {
+    AtomicRaceToken race(1000, {1000, 501, 501});
+    benchmark::DoNotOptimize(race.try_spend(1));
+  }
+}
+BENCHMARK(RaceDecisionStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E9a — the paper's scalability thesis on hardware: global total order
+// (MutexToken) vs per-account synchronization (ShardedToken).
+//
+// Expected shape: with threads touching mostly-disjoint accounts, the
+// sharded token scales with cores while the global mutex flattens; under
+// full contention on ONE account the two converge (per-account
+// synchronization cannot beat the σ-group bottleneck — exactly the
+// paper's point that coordination within σ(a) is irreducible).
+//
+// Each operation carries a fixed simulated validation cost (~1 µs,
+// standing in for signature verification / VM execution): what a ledger
+// must do per transaction inside whichever lock protects the state.  The
+// machine's core count bounds the attainable speedup.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "atomic/tokens.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace tokensync;
+
+constexpr std::size_t kAccounts = 64;
+constexpr unsigned kValidationCost = 1000;  // ~1 µs of work per op
+
+Erc20State initial_state() {
+  std::vector<Amount> balances(kAccounts, 1u << 20);
+  return Erc20State(balances,
+                    std::vector<std::vector<Amount>>(
+                        kAccounts, std::vector<Amount>(kAccounts, 0)));
+}
+
+template <typename Token>
+void run_disjoint(Token& token, int tid, int iters) {
+  // Each thread owns a distinct account neighborhood: commuting ops.
+  Rng rng(100 + tid);
+  const ProcessId self = static_cast<ProcessId>(tid % kAccounts);
+  for (int i = 0; i < iters; ++i) {
+    const AccountId dst =
+        static_cast<AccountId>((self + 1 + rng.below(3)) % kAccounts);
+    token.transfer(self, dst, 1);
+  }
+}
+
+template <typename Token>
+void run_hotspot(Token& token, int tid, int iters) {
+  // Everyone hammers account 0 — the σ-group bottleneck.
+  Rng rng(200 + tid);
+  for (int i = 0; i < iters; ++i) {
+    token.transfer(0, static_cast<AccountId>(1 + rng.below(3)), 0);
+  }
+}
+
+template <typename Token, bool Hotspot>
+void TokenThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kIters = 2000;
+  for (auto _ : state) {
+    Token token(initial_state(), kValidationCost);
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) {
+      ws.emplace_back([&token, t] {
+        if constexpr (Hotspot) {
+          run_hotspot(token, t, kIters);
+        } else {
+          run_disjoint(token, t, kIters);
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kIters);
+}
+
+void GlobalOrder_Disjoint(benchmark::State& s) {
+  TokenThroughput<MutexToken, false>(s);
+}
+void PerAccount_Disjoint(benchmark::State& s) {
+  TokenThroughput<ShardedToken, false>(s);
+}
+void GlobalOrder_Hotspot(benchmark::State& s) {
+  TokenThroughput<MutexToken, true>(s);
+}
+void PerAccount_Hotspot(benchmark::State& s) {
+  TokenThroughput<ShardedToken, true>(s);
+}
+
+// Thread counts capped at the host's hardware concurrency: beyond it the
+// measurement is pure oversubscription noise.  (EXPERIMENTS.md records
+// the effective parallelism of the measurement machine.)
+BENCHMARK(GlobalOrder_Disjoint)->DenseRange(1, 2)->UseRealTime()
+    ->MinTime(0.2);
+BENCHMARK(PerAccount_Disjoint)->DenseRange(1, 2)->UseRealTime()
+    ->MinTime(0.2);
+BENCHMARK(GlobalOrder_Hotspot)->DenseRange(1, 2)->UseRealTime()
+    ->MinTime(0.2);
+BENCHMARK(PerAccount_Hotspot)->DenseRange(1, 2)->UseRealTime()
+    ->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

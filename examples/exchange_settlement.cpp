@@ -1,0 +1,67 @@
+// Exchange settlement: a DEX-style operator holds allowances on many user
+// accounts; the synchronization planner derives, from the token state
+// alone, which accounts need group coordination and which settle
+// consensus-free — the paper's "requirements readable from q" insight.
+//
+//   $ ./exchange_settlement [users] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/planner.h"
+#include "objects/erc20.h"
+
+using namespace tokensync;
+
+int main(int argc, char** argv) {
+  const std::size_t users =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // Process layout: p0 = exchange operator, p1..p_users = traders.
+  const std::size_t n = users + 1;
+  Rng rng(seed);
+
+  // Fund traders, then let a random subset approve the exchange operator
+  // (and a few traders approve each other — OTC side deals).
+  Erc20State q(n, /*deployer=*/0, /*supply=*/1000 * n);
+  for (ProcessId t = 1; t < n; ++t) {
+    auto [r, next] = Erc20Spec::apply(
+        q, 0, Erc20Op::transfer(account_of(t), 500 + rng.below(500)));
+    q = next;
+  }
+  std::size_t dex_clients = 0;
+  for (ProcessId t = 1; t < n; ++t) {
+    if (rng.chance(2, 3)) {  // 2/3 of traders use the DEX
+      auto [r, next] = Erc20Spec::apply(
+          q, t, Erc20Op::approve(/*operator=*/0, 100 + rng.below(200)));
+      q = next;
+      ++dex_clients;
+    }
+    if (rng.chance(1, 4)) {  // occasional OTC allowance to a peer
+      const ProcessId peer = 1 + static_cast<ProcessId>(rng.below(users));
+      auto [r, next] =
+          Erc20Spec::apply(q, t, Erc20Op::approve(peer, 50));
+      q = next;
+    }
+  }
+
+  std::printf("exchange scenario: %zu traders, %zu of them DEX clients\n\n",
+              users, dex_clients);
+  const SyncPlan plan = plan_synchronization(q);
+  std::printf("%s\n", plan.to_string().c_str());
+
+  std::printf("interpretation:\n");
+  std::printf("  * %zu accounts settle consensus-free (broadcast is "
+              "enough — CN = 1, as for plain asset transfer);\n",
+              plan.accounts.size() - plan.coordinated_accounts);
+  std::printf("  * %zu accounts need agreement only within their spender "
+              "group (owner + operator/peers), NOT global consensus;\n",
+              plan.coordinated_accounts);
+  std::printf("  * the maximal group size k = %zu bounds the strongest "
+              "consensus object the whole contract can implement "
+              "(Theorems 2 and 3).\n",
+              plan.level);
+  return 0;
+}

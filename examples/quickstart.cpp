@@ -1,0 +1,71 @@
+// Quickstart: the paper's Example 1, executed against the ERC20 token
+// object (Definition 3), plus the state-classification readout.
+//
+//   $ ./quickstart
+//
+// Alice deploys a token with supply 10, pays Bob, Bob approves Charlie,
+// Charlie spends from Bob's account — every state q0..q4 printed and the
+// synchronization class (Q_k / S_k) tracked as it changes.
+#include <cstdio>
+
+#include "core/planner.h"
+#include "core/state_class.h"
+#include "objects/erc20.h"
+
+using namespace tokensync;
+
+namespace {
+
+void show(const char* label, const Erc20Token& token) {
+  const auto& q = token.state();
+  const std::size_t k = state_class(q);
+  std::printf("%s: %s\n", label, q.to_string().c_str());
+  std::printf("    class: q ∈ Q_%zu%s\n", k,
+              is_synchronization_state(q, k) ? " (synchronization state)"
+                                             : "");
+}
+
+}  // namespace
+
+int main() {
+  constexpr ProcessId kAlice = 0, kBob = 1, kCharlie = 2;
+
+  std::printf("ERC20 token object — paper Example 1\n");
+  std::printf("processes: Alice=p0, Bob=p1, Charlie=p2\n\n");
+
+  // Alice deploys with totalSupply = 10.
+  Erc20Token token(Erc20State(3, kAlice, 10));
+  show("q0 (deploy, supply 10 to Alice)", token);
+
+  // Alice -> transfer(a_B, 3).
+  auto r1 = token.invoke(kAlice, Erc20Op::transfer(account_of(kBob), 3));
+  std::printf("\nAlice: transfer(a_B, 3) -> %s\n", r1.ok ? "TRUE" : "FALSE");
+  show("q1", token);
+
+  // Bob -> approve(Charlie, 5).
+  auto r2 = token.invoke(kBob, Erc20Op::approve(kCharlie, 5));
+  std::printf("\nBob: approve(Charlie, 5) -> %s\n", r2.ok ? "TRUE" : "FALSE");
+  show("q2", token);
+
+  // Charlie -> transferFrom(a_B, a_C, 5): fails, balance only 3.
+  auto r3 = token.invoke(
+      kCharlie, Erc20Op::transfer_from(account_of(kBob),
+                                       account_of(kCharlie), 5));
+  std::printf("\nCharlie: transferFrom(a_B, a_C, 5) -> %s  "
+              "(insufficient balance despite allowance)\n",
+              r3.ok ? "TRUE" : "FALSE");
+  show("q3 (= q2)", token);
+
+  // Charlie -> transferFrom(a_B, a_A, 1): succeeds.
+  auto r4 = token.invoke(
+      kCharlie,
+      Erc20Op::transfer_from(account_of(kBob), account_of(kAlice), 1));
+  std::printf("\nCharlie: transferFrom(a_B, a_A, 1) -> %s\n",
+              r4.ok ? "TRUE" : "FALSE");
+  show("q4", token);
+
+  // The conclusion's insight: the synchronization plan is readable from q.
+  std::printf("\n--- synchronization plan for q4 ---\n%s",
+              plan_synchronization(token.state()).to_string().c_str());
+  return 0;
+}

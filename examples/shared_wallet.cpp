@@ -1,0 +1,72 @@
+// Shared wallet: a 3-party spending committee built from plain ERC20
+// approvals, deciding which payment executes via Algorithm 1's consensus.
+//
+//   $ ./shared_wallet [seed]
+//
+// A treasury account approves two officers; treasury balance and the two
+// allowances satisfy the U predicate (eq. 13), so the state is in S_3 and
+// consensus among the 3 spenders is possible (Theorem 2).  Each party
+// proposes a different payment id; Algorithm 1 runs under a random
+// schedule, and the race's unique winner determines which payment every
+// party executes — no external coordinator.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/algo1.h"
+#include "core/state_class.h"
+#include "sched/scheduler.h"
+
+using namespace tokensync;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2024;
+
+  std::printf("Shared wallet: owner p0 (treasurer) + officers p1, p2\n");
+
+  // Treasury: account 0 holds 100; officers approved 60 each (60+60>100,
+  // so U holds and q ∈ S_3).
+  Erc20State q(4, /*deployer=*/0, /*supply=*/100);
+  q.set_allowance(0, 1, 60);
+  q.set_allowance(0, 2, 60);
+  std::printf("state: %s\n", q.to_string().c_str());
+  std::printf("class: Q_%zu, synchronization state: %s\n\n",
+              state_class(q),
+              is_synchronization_state(q, 3) ? "yes (Theorem 2 applies)"
+                                             : "no");
+
+  // Proposals: payment ids the three parties want executed.
+  const std::vector<Amount> payments{9001, 9002, 9003};
+  std::printf("p0 proposes payment #%llu (payroll)\n",
+              (unsigned long long)payments[0]);
+  std::printf("p1 proposes payment #%llu (vendor invoice)\n",
+              (unsigned long long)payments[1]);
+  std::printf("p2 proposes payment #%llu (refund batch)\n\n",
+              (unsigned long long)payments[2]);
+
+  Algo1Config cfg(q, /*race_account=*/0, /*dest_account=*/3, {0, 1, 2},
+                  payments);
+  Rng rng(seed);
+  auto result = run_random(cfg, rng, {});
+
+  for (ProcessId p = 0; p < 3; ++p) {
+    std::printf("p%u decided payment #%llu after %zu steps\n", p,
+                (unsigned long long)result.decisions[p]->value,
+                result.steps_taken[p]);
+  }
+
+  const auto verdict =
+      check_consensus_run(result.decisions, payments, {});
+  std::printf("\nconsensus verdict: agreement=%s validity=%s "
+              "termination=%s\n",
+              verdict.agreement ? "ok" : "VIOLATED",
+              verdict.validity ? "ok" : "VIOLATED",
+              verdict.termination ? "ok" : "VIOLATED");
+
+  std::printf("post-race token state: %s\n",
+              cfg.token().to_string().c_str());
+  std::printf("(a winning officer's allowance drops to 0; if the owner "
+              "won, the drained\n balance blocks both officers — either "
+              "way every party reads the same winner)\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Hardware-concurrent ERC20 token implementations (std::thread substrate).
+//
+// Three implementations embodying the paper's synchronization spectrum
+// (experiment E9):
+//   * MutexToken   — one global mutex: every operation totally ordered,
+//                    the "all transactions through consensus" baseline the
+//                    paper argues is wasteful;
+//   * ShardedToken — one mutex per account: operations on different
+//                    accounts proceed in parallel — the per-account
+//                    synchronization granularity the paper derives
+//                    (coordination only among σ(a));
+//   * AtomicRaceToken — a lock-free, wait-free specialization of T_q for
+//                    q ∈ S_k restricted to the operations Algorithm 1
+//                    uses: the race account's (balance, winner) pair is
+//                    packed into ONE std::atomic<uint64_t> so the decision
+//                    step is a single CAS (see race_token rationale in
+//                    DESIGN.md).
+//
+// All implementations expose the same interface subset; tests validate
+// ShardedToken against the sequential specification via linearizability
+// checking, and benches compare throughput/latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/erc20.h"
+
+namespace tokensync {
+
+/// Globally-locked ERC20 token — the total-order baseline.  Updates
+/// mutate in place (same data layout as ShardedToken), so benchmark gaps
+/// against it measure synchronization granularity, not copying overhead.
+class MutexToken {
+ public:
+  /// `validation_spin` simulates per-operation validation work (signature
+  /// check / VM execution) inside the critical section, in ~1ns units; a
+  /// real ledger never applies an unvalidated transaction, so the work
+  /// necessarily serializes under whichever lock protects the state.
+  explicit MutexToken(const Erc20State& initial,
+                      unsigned validation_spin = 0);
+
+  bool transfer(ProcessId caller, AccountId dst, Amount v);
+  bool transfer_from(ProcessId caller, AccountId src, AccountId dst,
+                     Amount v);
+  bool approve(ProcessId caller, ProcessId spender, Amount v);
+  Amount balance_of(AccountId a) const;
+  Amount allowance(AccountId a, ProcessId p) const;
+  Amount total_supply() const;
+
+  /// Snapshot of the full state (quiescent use only).
+  Erc20State snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  unsigned validation_spin_ = 0;
+  std::vector<Amount> balances_;
+  std::vector<std::vector<Amount>> allowances_;
+};
+
+/// Busy work standing in for transaction validation; ~1ns per unit.
+inline void simulated_validation(unsigned units) {
+  for (unsigned i = 0; i < units; ++i) {
+    asm volatile("" ::: "memory");
+  }
+}
+
+/// Per-account-locked ERC20 token — per-account synchronization.
+///
+/// Lock order: account locks are always acquired in increasing account-id
+/// order, so cross-account transfers cannot deadlock.  An account's
+/// balance AND its allowance row share the account's lock (transferFrom
+/// must debit both atomically — they belong to the same σ-group anyway).
+class ShardedToken {
+ public:
+  /// See MutexToken for `validation_spin`.
+  explicit ShardedToken(const Erc20State& initial,
+                        unsigned validation_spin = 0);
+
+  bool transfer(ProcessId caller, AccountId dst, Amount v);
+  bool transfer_from(ProcessId caller, AccountId src, AccountId dst,
+                     Amount v);
+  bool approve(ProcessId caller, ProcessId spender, Amount v);
+  Amount balance_of(AccountId a) const;
+  Amount allowance(AccountId a, ProcessId p) const;
+  /// Locks accounts one at a time: a *weak* (non-atomic) total; exact
+  /// under quiescence.  Conservation tests use quiescent points.
+  Amount total_supply_weak() const;
+
+  Erc20State snapshot() const;  // quiescent use only
+  std::size_t num_accounts() const noexcept { return balances_.size(); }
+
+ private:
+  struct Account {
+    mutable std::mutex mu;
+  };
+  unsigned validation_spin_ = 0;
+  std::vector<Amount> balances_;
+  std::vector<std::vector<Amount>> allowances_;
+  std::unique_ptr<Account[]> accounts_;
+};
+
+/// Lock-free race object: the T_q fragment Algorithm 1 needs, for
+/// q ∈ S_k with race account a_1.
+///
+/// Packed word layout (64 bits):
+///   bits 0..47  — remaining balance of the race account;
+///   bits 48..55 — winner participant index + 1 (0 = no winner yet);
+///   bits 56..63 — unused.
+/// transfer/transferFrom are single CAS attempts: they succeed iff no
+/// winner is recorded and the balance covers the amount; the winner index
+/// and the debit are published atomically, which is exactly what the
+/// agreement argument of Theorem 2 needs (see E3: a non-atomic
+/// balance-then-allowance publication admits disagreement windows).
+class AtomicRaceToken {
+ public:
+  /// Race with initial balance B and per-participant transfer amounts
+  /// (amounts[0] = B for the owner; amounts[i] = A_i).  Requires
+  /// B < 2^48 and at most 255 participants, and q ∈ S_k (U holds).
+  AtomicRaceToken(Amount balance, std::vector<Amount> amounts);
+
+  /// Participant i's race step (the paper's transfer / transferFrom with
+  /// its full balance/allowance).  Returns true iff i won.
+  bool try_spend(std::size_t i);
+
+  /// allowance(a_1, p_j) per the race semantics: 0 iff j won, else A_j.
+  Amount allowance_of(std::size_t j) const;
+
+  /// The winner, if any (participant index).
+  std::optional<std::size_t> winner() const;
+
+  Amount balance() const;
+
+ private:
+  static constexpr std::uint64_t kBalanceMask = (1ULL << 48) - 1;
+
+  std::atomic<std::uint64_t> word_;
+  std::vector<Amount> amounts_;
+};
+
+/// Hardware Algorithm 1: wait-free consensus among k std::threads from one
+/// AtomicRaceToken plus k atomic registers.  propose() mirrors the paper's
+/// pseudocode line by line.
+class HwAlgo1 {
+ public:
+  /// k participants; amounts per make_sync_state (allowances B/2+1).
+  explicit HwAlgo1(std::size_t k, Amount balance = 1000);
+
+  /// Executed concurrently from k threads; returns the decided value.
+  Amount propose(std::size_t i, Amount value);
+
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  AtomicRaceToken race_;
+  std::vector<std::atomic<std::uint64_t>> regs_;  // 0 = unwritten, v+1
+};
+
+}  // namespace tokensync

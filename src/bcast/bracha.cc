@@ -1,0 +1,6 @@
+// Broadcast protocols are header-only templates; this TU anchors the
+// library target.
+#include "bcast/bracha.h"
+#include "bcast/erb.h"
+
+namespace tokensync {}

@@ -1,0 +1,139 @@
+// Bracha Byzantine reliable broadcast (n ≥ 3f + 1).
+//
+// Phases per (origin, seq):
+//   SEND  — the origin sends its payload to all;
+//   ECHO  — on first SEND (or on f+1 READY for the same payload), echo to
+//           all; on collecting ⌈(n+f+1)/2⌉ ECHOs for one payload, go READY;
+//   READY — on f+1 READYs for a payload (amplification), send READY too;
+//           on 2f+1 READYs, deliver.
+//
+// Guarantees with at most f Byzantine nodes and reliable channels:
+// all correct nodes deliver the same payload for a given (origin, seq) or
+// none do — even if the origin equivocates (tests inject an equivocating
+// sender).  Channel reliability is the standard Bracha assumption; run the
+// SimNet without drops (or layer retransmission) for liveness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/simnet.h"
+
+namespace tokensync {
+
+/// Wire message; Payload must be totally ordered (used as a map key).
+template <typename Payload>
+struct BrachaMsg {
+  enum class Type : std::uint8_t { kSend, kEcho, kReady } type = Type::kSend;
+  ProcessId origin = 0;
+  std::uint64_t seq = 0;
+  Payload payload{};
+};
+
+template <typename Payload>
+class BrachaNode {
+ public:
+  using Net = SimNet<BrachaMsg<Payload>>;
+  using Deliver = std::function<void(ProcessId origin, std::uint64_t seq,
+                                     const Payload&)>;
+
+  BrachaNode(Net& net, ProcessId self, std::size_t f, Deliver deliver)
+      : net_(net), self_(self), f_(f), deliver_(std::move(deliver)) {
+    TS_EXPECTS(net_.num_nodes() >= 3 * f_ + 1);
+    net_.set_handler(self_,
+                     [this](ProcessId from, const BrachaMsg<Payload>& m) {
+                       on_message(from, m);
+                     });
+  }
+
+  /// Broadcasts payload as the origin with the given sequence number.
+  void broadcast(std::uint64_t seq, const Payload& p) {
+    net_.send_all(self_,
+                  BrachaMsg<Payload>{BrachaMsg<Payload>::Type::kSend, self_,
+                                     seq, p});
+  }
+
+  std::uint64_t delivered_count() const noexcept { return delivered_n_; }
+
+ private:
+  using Slot = std::pair<ProcessId, std::uint64_t>;  // (origin, seq)
+
+  struct SlotState {
+    bool echoed = false;
+    bool readied = false;
+    bool delivered = false;
+    // Distinct senders per payload for each phase.
+    std::map<Payload, std::set<ProcessId>> echoes;
+    std::map<Payload, std::set<ProcessId>> readies;
+  };
+
+  std::size_t echo_quorum() const {
+    // ⌈(n + f + 1) / 2⌉
+    return (net_.num_nodes() + f_ + 2) / 2;
+  }
+
+  void send_echo(const Slot& slot, const Payload& p, SlotState& st) {
+    if (st.echoed) return;
+    st.echoed = true;
+    net_.send_all(self_,
+                  BrachaMsg<Payload>{BrachaMsg<Payload>::Type::kEcho,
+                                     slot.first, slot.second, p});
+  }
+
+  void send_ready(const Slot& slot, const Payload& p, SlotState& st) {
+    if (st.readied) return;
+    st.readied = true;
+    net_.send_all(self_,
+                  BrachaMsg<Payload>{BrachaMsg<Payload>::Type::kReady,
+                                     slot.first, slot.second, p});
+  }
+
+  void on_message(ProcessId from, const BrachaMsg<Payload>& m) {
+    const Slot slot{m.origin, m.seq};
+    SlotState& st = slots_[slot];
+
+    switch (m.type) {
+      case BrachaMsg<Payload>::Type::kSend:
+        // Only the origin's SEND counts (a Byzantine non-origin cannot
+        // forge it here; with signatures this is the sig check).
+        if (from == m.origin) send_echo(slot, m.payload, st);
+        break;
+
+      case BrachaMsg<Payload>::Type::kEcho: {
+        auto& senders = st.echoes[m.payload];
+        senders.insert(from);
+        if (senders.size() >= echo_quorum()) {
+          send_ready(slot, m.payload, st);
+        }
+        break;
+      }
+
+      case BrachaMsg<Payload>::Type::kReady: {
+        auto& senders = st.readies[m.payload];
+        senders.insert(from);
+        if (senders.size() >= f_ + 1) {
+          // Amplification: join the READY wave (also echo if we haven't).
+          send_echo(slot, m.payload, st);
+          send_ready(slot, m.payload, st);
+        }
+        if (senders.size() >= 2 * f_ + 1 && !st.delivered) {
+          st.delivered = true;
+          ++delivered_n_;
+          deliver_(m.origin, m.seq, m.payload);
+        }
+        break;
+      }
+    }
+  }
+
+  Net& net_;
+  ProcessId self_;
+  std::size_t f_;
+  Deliver deliver_;
+  std::map<Slot, SlotState> slots_;
+  std::uint64_t delivered_n_ = 0;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,142 @@
+// Eager reliable broadcast (crash-stop model) with per-sender FIFO
+// delivery — the dissemination layer for the consensus-free asset
+// transfer (Sec. 7 / Collins et al., DSN'20 style).
+//
+// Reliable broadcast properties (crash model):
+//   validity      — a correct broadcaster's message is eventually
+//                   delivered by every correct node;
+//   no duplication, no creation;
+//   agreement     — if any correct node delivers m, all correct nodes do
+//                   (achieved by eager re-broadcast on first delivery).
+// FIFO: messages from the same origin are delivered in sequence order.
+//
+// The implementation retransmits periodically until every peer has acked,
+// making delivery survive probabilistic message drops (the network may
+// drop any single send; retransmission gives eventual delivery on fair
+// links).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/simnet.h"
+
+namespace tokensync {
+
+/// Wire message for ErbNode.
+template <typename Payload>
+struct ErbMsg {
+  enum class Type : std::uint8_t { kData, kAck } type = Type::kData;
+  ProcessId origin = 0;
+  std::uint64_t seq = 0;
+  Payload payload{};
+};
+
+/// One node of the FIFO eager reliable broadcast.
+template <typename Payload>
+class ErbNode {
+ public:
+  using Net = SimNet<ErbMsg<Payload>>;
+  using Deliver = std::function<void(ProcessId origin, std::uint64_t seq,
+                                     const Payload&)>;
+
+  ErbNode(Net& net, ProcessId self, Deliver deliver,
+          std::uint64_t retransmit_every = 50)
+      : net_(net), self_(self), deliver_(std::move(deliver)),
+        retransmit_every_(retransmit_every),
+        next_deliver_(net.num_nodes(), 0) {
+    net_.set_handler(self_, [this](ProcessId from, const ErbMsg<Payload>& m) {
+      on_message(from, m);
+    });
+    net_.set_timer_handler(self_, [this](std::uint64_t) { on_timer(); });
+  }
+
+  /// FIFO-broadcasts payload from this node; returns its sequence number.
+  std::uint64_t broadcast(Payload p) {
+    const std::uint64_t seq = next_seq_++;
+    ErbMsg<Payload> m{ErbMsg<Payload>::Type::kData, self_, seq,
+                      std::move(p)};
+    store_and_forward(m);
+    return seq;
+  }
+
+  /// Messages delivered so far (origin, seq) — for test assertions.
+  std::uint64_t delivered_count() const noexcept { return delivered_n_; }
+
+ private:
+  using Key = std::pair<ProcessId, std::uint64_t>;
+
+  void store_and_forward(const ErbMsg<Payload>& m) {
+    const Key key{m.origin, m.seq};
+    if (known_.contains(key)) return;
+    known_.emplace(key, m);
+    pending_acks_[key] = {};
+    for (ProcessId p = 0; p < net_.num_nodes(); ++p) {
+      if (p != self_) pending_acks_[key].insert(p);
+    }
+    net_.send_all(self_, m);
+    arm_timer();
+    try_deliver(m.origin);
+  }
+
+  void arm_timer() {
+    if (timer_armed_) return;
+    timer_armed_ = true;
+    net_.set_timer(self_, retransmit_every_, 0);
+  }
+
+  void on_message(ProcessId from, const ErbMsg<Payload>& m) {
+    if (m.type == ErbMsg<Payload>::Type::kAck) {
+      auto it = pending_acks_.find(Key{m.origin, m.seq});
+      if (it != pending_acks_.end()) it->second.erase(from);
+      return;
+    }
+    // Ack back to the forwarder so it can stop retransmitting to us.
+    ErbMsg<Payload> ack{ErbMsg<Payload>::Type::kAck, m.origin, m.seq, {}};
+    net_.send(self_, from, ack);
+    store_and_forward(m);
+  }
+
+  void on_timer() {
+    // Retransmit unacked messages; keeps delivery live across drops.  The
+    // timer stays armed only while acks are outstanding, so a quiescent
+    // cluster's event queue drains.
+    timer_armed_ = false;
+    bool any_missing = false;
+    for (auto& [key, missing] : pending_acks_) {
+      if (missing.empty()) continue;
+      any_missing = true;
+      const auto& m = known_.at(key);
+      for (ProcessId p : missing) net_.send(self_, p, m);
+    }
+    if (any_missing) arm_timer();
+  }
+
+  void try_deliver(ProcessId origin) {
+    // FIFO: deliver contiguous sequence numbers only.
+    for (;;) {
+      const Key key{origin, next_deliver_[origin]};
+      auto it = known_.find(key);
+      if (it == known_.end()) return;
+      deliver_(origin, it->second.seq, it->second.payload);
+      ++delivered_n_;
+      ++next_deliver_[origin];
+    }
+  }
+
+  Net& net_;
+  ProcessId self_;
+  Deliver deliver_;
+  std::uint64_t retransmit_every_;
+  bool timer_armed_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::map<Key, ErbMsg<Payload>> known_;
+  std::map<Key, std::set<ProcessId>> pending_acks_;
+  std::vector<std::uint64_t> next_deliver_;
+  std::uint64_t delivered_n_ = 0;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,35 @@
+// Overflow-checked unsigned arithmetic for token amounts.
+//
+// The sequential specifications operate on ℕ; a 64-bit overflow would
+// silently violate the conservation invariant Σβ(a) = totalSupply, so every
+// balance update goes through these helpers.
+#pragma once
+
+#include "common/error.h"
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// a + b, aborting on overflow (an internal invariant violation: supplies
+/// are validated at construction so honest executions cannot overflow).
+inline Amount checked_add(Amount a, Amount b) {
+  Amount r = 0;
+  TS_ASSERT(!__builtin_add_overflow(a, b, &r));
+  return r;
+}
+
+/// a - b, aborting on underflow.  Callers must have established a >= b
+/// (the specification checks balances before debiting).
+inline Amount checked_sub(Amount a, Amount b) {
+  TS_ASSERT(a >= b);
+  return a - b;
+}
+
+/// True iff a + b would overflow; used by validation paths that must return
+/// FALSE rather than abort (e.g. adversarially-supplied transfer amounts).
+inline bool add_would_overflow(Amount a, Amount b) noexcept {
+  Amount r = 0;
+  return __builtin_add_overflow(a, b, &r);
+}
+
+}  // namespace tokensync

@@ -1,0 +1,37 @@
+// Precondition / invariant checking macros.
+//
+// Per the C++ Core Guidelines (I.6/I.8, E.12): interfaces state their
+// contracts, and contract violations are programming errors that terminate.
+// These are *internal* invariants — sequential-specification failures such
+// as an insufficient balance are ordinary FALSE responses, never TS_EXPECTS
+// failures.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tokensync::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "tokensync: %s failed: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace tokensync::detail
+
+#define TS_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::tokensync::detail::contract_failure("precondition", #cond,  \
+                                                  __FILE__, __LINE__))
+
+#define TS_ENSURES(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::tokensync::detail::contract_failure("postcondition", #cond,  \
+                                                  __FILE__, __LINE__))
+
+#define TS_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::tokensync::detail::contract_failure("invariant", #cond,    \
+                                                  __FILE__, __LINE__))

@@ -1,0 +1,31 @@
+// Small composable hashing utilities.
+//
+// Model-checking configurations and linearizability-search memo keys are
+// fingerprinted by combining field hashes; we use the standard
+// boost-style combiner over a 64-bit FNV-ish mix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tokensync {
+
+/// Mixes `v` into the running hash `seed` (splitmix64-style avalanche).
+inline void hash_combine(std::size_t& seed, std::uint64_t v) noexcept {
+  v += 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  seed ^= v ^ (v >> 31);
+}
+
+/// Hash of a vector of integral values.
+template <typename T>
+std::size_t hash_range(const std::vector<T>& xs) noexcept {
+  std::size_t seed = xs.size();
+  for (const T& x : xs) hash_combine(seed, static_cast<std::uint64_t>(x));
+  return seed;
+}
+
+}  // namespace tokensync

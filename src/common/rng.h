@@ -1,0 +1,49 @@
+// Deterministic pseudo-random source for schedulers, workload generators
+// and property tests.
+//
+// All randomized components take an explicit seed so that every test
+// failure and every benchmark run is reproducible (Core Guidelines: no
+// hidden global state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tokensync {
+
+/// xoshiro256** — small, fast, high-quality PRNG; deterministic per seed.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept;
+
+  /// Uniform double in [0,1).
+  double uniform() noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tokensync

@@ -1,0 +1,178 @@
+#include "core/algo1.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "core/state_class.h"
+
+namespace tokensync {
+
+Algo1Config::Algo1Config(Erc20State q, AccountId race_account,
+                         AccountId dest_account,
+                         std::vector<ProcessId> participants,
+                         std::vector<Amount> proposals)
+    : token_(std::move(q)),
+      race_account_(race_account),
+      dest_account_(dest_account),
+      participants_(std::move(participants)),
+      proposals_(std::move(proposals)) {
+  TS_EXPECTS(!participants_.empty());
+  TS_EXPECTS(proposals_.size() == participants_.size());
+  TS_EXPECTS(participants_[0] == owner_of(race_account_));
+  initial_balance_ = token_.balance(race_account_);
+  initial_allowance_.resize(participants_.size(), 0);
+  for (std::size_t i = 1; i < participants_.size(); ++i) {
+    initial_allowance_[i] = token_.allowance(race_account_, participants_[i]);
+  }
+  regs_.assign(participants_.size(), std::nullopt);
+  locals_.assign(participants_.size(), Algo1Local{});
+}
+
+bool Algo1Config::enabled(ProcessId i) const {
+  return i < locals_.size() && locals_[i].pc != Algo1Local::kPcDone;
+}
+
+void Algo1Config::step(ProcessId i) {
+  TS_EXPECTS(enabled(i));
+  Algo1Local& me = locals_[i];
+  const ProcessId self = participants_[i];
+
+  switch (me.pc) {
+    case Algo1Local::kPcWrite:
+      // R[i].write(v_i)
+      regs_[i] = proposals_[i];
+      me.pc = Algo1Local::kPcTransfer;
+      return;
+
+    case Algo1Local::kPcTransfer: {
+      // Owner transfers the full balance B; spender i transfers its full
+      // initial allowance A_i.  Either way the response is ignored — the
+      // scan loop determines the winner.
+      const Erc20Op op =
+          (i == 0)
+              ? Erc20Op::transfer(dest_account_, initial_balance_)
+              : Erc20Op::transfer_from(race_account_, dest_account_,
+                                       initial_allowance_[i]);
+      auto [resp, next] = Erc20Spec::apply(token_, self, op);
+      token_ = std::move(next);
+      me.pc = Algo1Local::kPcScan;
+      me.scan = 1;
+      // Degenerate k = 1 instance: no spenders to scan.
+      if (me.scan >= participants_.size()) {
+        me.pc = Algo1Local::kPcReadReg;
+        me.reg_to_read = 0;
+      }
+      return;
+    }
+
+    case Algo1Local::kPcScan: {
+      // if T.allowance(a1, p_scan) == 0 then goto read R[scan]
+      const ProcessId pj = participants_[me.scan];
+      auto [resp, next] =
+          Erc20Spec::apply(token_, self,
+                           Erc20Op::allowance(race_account_, pj));
+      token_ = std::move(next);  // read-only; state unchanged
+      TS_ASSERT(resp.kind == Response::Kind::kValue);
+      if (resp.value == 0) {
+        me.reg_to_read = me.scan;
+        me.pc = Algo1Local::kPcReadReg;
+        return;
+      }
+      ++me.scan;
+      if (me.scan >= participants_.size()) {
+        me.reg_to_read = 0;  // fall through to "return R[0].read()"
+        me.pc = Algo1Local::kPcReadReg;
+      }
+      return;
+    }
+
+    case Algo1Local::kPcReadReg: {
+      const auto& r = regs_[me.reg_to_read];
+      if (r.has_value()) {
+        me.decided = Decision{false, *r};
+      } else {
+        // Reading an unwritten register: the protocol returns ⊥.  This
+        // never happens for well-formed instances (q ∈ S_k, participants =
+        // σ_q(a1)); experiment E4 reaches it.
+        me.decided = Decision{true, 0};
+      }
+      me.pc = Algo1Local::kPcDone;
+      return;
+    }
+
+    case Algo1Local::kPcDone:
+      TS_ASSERT(false);
+  }
+}
+
+std::optional<Decision> Algo1Config::decision(ProcessId i) const {
+  if (locals_.at(i).pc != Algo1Local::kPcDone) return std::nullopt;
+  return locals_[i].decided;
+}
+
+std::size_t Algo1Config::hash() const noexcept {
+  std::size_t seed = token_.hash();
+  for (const auto& r : regs_) {
+    hash_combine(seed, r ? *r + 1 : 0);
+  }
+  for (const auto& l : locals_) {
+    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
+                           (static_cast<std::uint64_t>(l.scan) << 8) |
+                           (static_cast<std::uint64_t>(l.reg_to_read) << 24) |
+                           (static_cast<std::uint64_t>(l.decided.bottom)
+                            << 40) |
+                           (static_cast<std::uint64_t>(l.decided.value)
+                            << 41));
+  }
+  return seed;
+}
+
+std::string Algo1Config::next_op_name(ProcessId i) const {
+  const Algo1Local& me = locals_.at(i);
+  std::ostringstream os;
+  os << "p" << participants_[i] << ": ";
+  switch (me.pc) {
+    case Algo1Local::kPcWrite:
+      os << "R[" << i << "].write(" << proposals_[i] << ")";
+      break;
+    case Algo1Local::kPcTransfer:
+      if (i == 0) {
+        os << Erc20Op::transfer(dest_account_, initial_balance_).to_string();
+      } else {
+        os << Erc20Op::transfer_from(race_account_, dest_account_,
+                                     initial_allowance_[i])
+                  .to_string();
+      }
+      break;
+    case Algo1Local::kPcScan:
+      os << Erc20Op::allowance(race_account_, participants_[me.scan])
+                .to_string();
+      break;
+    case Algo1Local::kPcReadReg:
+      os << "R[" << me.reg_to_read << "].read()";
+      break;
+    case Algo1Local::kPcDone:
+      os << "(decided)";
+      break;
+  }
+  return os.str();
+}
+
+Algo1Config make_algo1(std::size_t n, std::size_t k, Amount balance) {
+  Erc20State q = make_sync_state(n, k, balance);
+  std::vector<ProcessId> participants;
+  std::vector<Amount> proposals;
+  for (std::size_t i = 0; i < k; ++i) {
+    participants.push_back(static_cast<ProcessId>(i));
+    proposals.push_back(100 + i);
+  }
+  // a_d must differ from a_1; the paper picks it among {a_2..a_k} but any
+  // non-race account preserves the argument — we use account 1 when k >= 2
+  // (account 1 is in the paper's range) and account n-1 for k = 1.
+  const AccountId dest = (k >= 2) ? 1 : static_cast<AccountId>(n - 1);
+  return Algo1Config(std::move(q), /*race_account=*/0, dest,
+                     std::move(participants), std::move(proposals));
+}
+
+}  // namespace tokensync

@@ -1,0 +1,112 @@
+// Algorithm 1 of the paper: wait-free consensus among k processes from one
+// ERC20 token object T_q with q ∈ S_k, plus k atomic registers.
+//
+// Protocol (paper lines 6–14), for process p_i (0-based here; process 0 is
+// the owner ω(a_1) — the paper's p_1):
+//
+//   propose(v):
+//     R[i].write(v)
+//     if i == 0:  T.transfer(a_d, B)            // full balance
+//     else:       T.transferFrom(a_1, a_d, A_i) // full allowance
+//     for j in 1..k-1:                          // paper's j ∈ {2..k}
+//       if T.allowance(a_1, p_j) == 0: return R[j].read()
+//     return R[0].read()
+//
+// Every line is one base-object operation, so the configuration below
+// advances one atomic step at a time (program counters kPcWrite →
+// kPcTransfer → kPcScan{j} → kPcReadReg → decided), which is exactly the
+// granularity of the paper's model.
+//
+// The configuration deliberately also supports *misconfigured* instances —
+// more participants than enabled spenders (experiment E4) or initial
+// states violating the U predicate (experiment E3) — so the model checker
+// can exhibit the executions that make those instances fail.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/erc20.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// One participant's local state (program counter + scan index).
+struct Algo1Local {
+  enum Pc : std::uint8_t {
+    kPcWrite = 0,    // about to write R[i]
+    kPcTransfer,     // about to transfer / transferFrom
+    kPcScan,         // about to read allowance(a1, p_scan)
+    kPcReadReg,      // about to read R[reg_to_read]
+    kPcDone,         // decided
+  };
+
+  Pc pc = kPcWrite;
+  ProcessId scan = 1;         // loop variable j (our 0-based: starts at 1)
+  ProcessId reg_to_read = 0;  // register picked by the scan
+  Decision decided;           // valid when pc == kPcDone
+
+  friend bool operator==(const Algo1Local&, const Algo1Local&) = default;
+};
+
+/// Explorable configuration of Algorithm 1 (satisfies ProtocolConfig).
+class Algo1Config {
+ public:
+  /// Builds the protocol over token state `q`.
+  ///
+  /// `race_account`  — the paper's a_1 (its owner must be process 0 of the
+  ///                   participant list, i.e. participants[0] == ω(a_1));
+  /// `dest_account`  — the paper's a_d;
+  /// `participants`  — the processes running propose(); participants[i]
+  ///                   proposes proposals[i].  Normally these are exactly
+  ///                   σ_q(race_account); passing more reproduces E4.
+  ///
+  /// Non-owner participant i transfers its *initial* allowance A_i
+  /// (captured here, per the algorithm's constants B, A_j).
+  Algo1Config(Erc20State q, AccountId race_account, AccountId dest_account,
+              std::vector<ProcessId> participants,
+              std::vector<Amount> proposals);
+
+  std::size_t num_processes() const noexcept { return participants_.size(); }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  const Erc20State& token() const noexcept { return token_; }
+  const std::vector<std::optional<Amount>>& registers() const noexcept {
+    return regs_;
+  }
+
+  /// Upper bound on any process's own-steps: write + transfer + k-1 scans
+  /// + final register read.  Used by wait-freedom checks.
+  std::size_t max_own_steps() const noexcept {
+    return 2 + num_processes() + 1;
+  }
+
+  friend bool operator==(const Algo1Config&, const Algo1Config&) = default;
+
+ private:
+  Erc20State token_;
+  AccountId race_account_ = 0;
+  AccountId dest_account_ = 1;
+  std::vector<ProcessId> participants_;
+  std::vector<Amount> proposals_;
+  Amount initial_balance_ = 0;            // B
+  std::vector<Amount> initial_allowance_; // A_i per participant index
+  std::vector<std::optional<Amount>> regs_;
+  std::vector<Algo1Local> locals_;
+};
+
+static_assert(ProtocolConfig<Algo1Config>);
+
+/// Convenience: the canonical well-formed instance — state make_sync_state
+/// (q ∈ S_k), participants = σ_q(a_0) = {0..k-1}, distinct proposals
+/// 100+i.  Used by tests, benches and examples.
+Algo1Config make_algo1(std::size_t n, std::size_t k, Amount balance);
+
+}  // namespace tokensync

@@ -1,0 +1,175 @@
+#include "core/algo2.h"
+
+#include "common/checked.h"
+#include "common/error.h"
+#include "core/state_class.h"
+
+namespace tokensync {
+
+Algo2Token::Algo2Token(const Erc20State& q, std::size_t k, Mode mode)
+    : k_(k), mode_(mode) {
+  TS_EXPECTS(k_ >= 1);
+  TS_EXPECTS(state_class(q) <= k_);  // q ∈ Q_k (or lower)
+  const std::size_t n = q.num_accounts();
+
+  // Lines 2–6: balances and owner maps from σ_q, allowance registers from α.
+  std::vector<Amount> balances(n);
+  std::vector<std::vector<ProcessId>> owners(n);
+  regs_.assign(n, std::vector<Amount>(n, 0));
+  for (AccountId a = 0; a < n; ++a) {
+    balances[a] = q.balance(a);
+    owners[a] = enabled_spenders(q, a);
+    for (ProcessId p = 0; p < n; ++p) {
+      regs_[a][p] = q.allowance(a, p);
+    }
+  }
+  kat_ = AtState(std::move(balances), std::move(owners));
+}
+
+bool Algo2Token::transfer_from(ProcessId caller, AccountId src,
+                               AccountId dst, Amount value) {
+  if (mode_ == Mode::kStrict && value == 0) {
+    // Deviation fix (3): Definition 3 makes a zero-value transferFrom
+    // succeed unconditionally (β ≥ 0 and α ≥ 0 hold trivially), but the
+    // k-AT transfer refuses callers outside μ(src).  Short-circuit the
+    // spec-conform no-op.
+    return true;
+  }
+  if (mode_ == Mode::kStrict && !funding_stays_in_qk(src, dst, value)) {
+    // Δ' refuses transitions leaving Q_k: crediting dst may activate
+    // pre-existing allowances on a previously empty account (the
+    // zero-balance convention of eq. 10), pushing |σ(dst)| above k.
+    return false;
+  }
+  // Lines 8–9: allowance check against the register.
+  if (regs_.at(src).at(caller) < value) return false;
+  // Line 10: debit the allowance register.
+  regs_[src][caller] = checked_sub(regs_[src][caller], value);
+  // Line 11: the k-AT transfer enforces balance and membership.
+  auto [resp, next] =
+      AtSpec::apply(kat_, caller, AtOp::transfer(src, dst, value));
+  kat_ = std::move(next);
+  const bool ok = resp == Response::boolean(true);
+  if (!ok && mode_ == Mode::kStrict) {
+    // Deviation fix (1): refund the allowance when the transfer failed, so
+    // a balance-failure leaves the emulated state unchanged, as Δ demands.
+    regs_[src][caller] = checked_add(regs_[src][caller], value);
+  }
+  return ok;
+}
+
+bool Algo2Token::transfer(ProcessId caller, AccountId dst, Amount value) {
+  if (mode_ == Mode::kStrict &&
+      !funding_stays_in_qk(account_of(caller), dst, value)) {
+    return false;
+  }
+  // Line 13: transfer from the caller's own account.
+  // μ = {owner} ∪ {p : R[p] > 0} over-approximates σ independently of
+  // balances, so transfers never require a new k-AT instance.
+  auto [resp, next] = AtSpec::apply(
+      kat_, caller, AtOp::transfer(account_of(caller), dst, value));
+  kat_ = std::move(next);
+  return resp == Response::boolean(true);
+}
+
+bool Algo2Token::funding_stays_in_qk(AccountId src, AccountId dst,
+                                     Amount value) const {
+  // Only a transfer that would SUCCEED and credit a previously empty
+  // account can raise the class (activating dormant allowances).
+  if (value == 0 || dst == src) return true;
+  if (kat_.balance(dst) > 0) return true;   // already active
+  if (kat_.balance(src) < value) return true;  // transfer will fail anyway
+  std::size_t sigma = 1;  // the owner
+  for (ProcessId p = 0; p < regs_[dst].size(); ++p) {
+    if (p != owner_of(dst) && regs_[dst][p] > 0) ++sigma;
+  }
+  return sigma <= k_;
+}
+
+Amount Algo2Token::balance_of(ProcessId caller, AccountId a) const {
+  auto [resp, next] = AtSpec::apply(kat_, caller, AtOp::balance_of(a));
+  TS_ASSERT(resp.kind == Response::Kind::kValue);
+  return resp.value;
+}
+
+std::size_t Algo2Token::spender_count(AccountId a) const {
+  std::size_t count = 1;  // the owner
+  for (ProcessId p = 0; p < regs_[a].size(); ++p) {
+    if (p != owner_of(a) && regs_[a][p] > 0) ++count;
+  }
+  return count;
+}
+
+bool Algo2Token::approve(ProcessId caller, ProcessId spender, Amount value) {
+  const AccountId a = account_of(caller);
+
+  if (mode_ == Mode::kPaperFaithful) {
+    // Line 17: refuse whenever the account already has k enabled spenders,
+    // regardless of whether this approve would change the count.
+    if (spender_count(a) == k_) return false;
+  } else {
+    // Strict Δ' semantics: refuse exactly the transitions leaving Q_k —
+    // i.e. when the *post-state* would have more than k enabled spenders.
+    // On an empty account σ stays {owner} (zero-balance convention), so
+    // approve never changes the class there; on a funded account, only an
+    // approve that adds a fresh non-owner spender can grow σ.
+    const bool adds_spender =
+        spender != owner_of(a) && value > 0 && regs_[a][spender] == 0;
+    if (kat_.balance(a) > 0 && adds_spender && spender_count(a) + 1 > k_) {
+      return false;
+    }
+  }
+
+  // Lines 19–20.
+  const Amount old_value = regs_[a][spender];
+  regs_[a][spender] = value;
+
+  // Lines 21–23: owner-map re-instantiation when a spender was added.
+  // (Strict mode also refreshes on removal so μ never over-approximates.)
+  const bool added = old_value == 0 && value > 0;
+  const bool removed = old_value > 0 && value == 0;
+  if (added || (mode_ == Mode::kStrict && removed)) {
+    reinstantiate_owner_maps();
+  }
+  return true;
+}
+
+Amount Algo2Token::allowance(ProcessId /*caller*/, AccountId a,
+                             ProcessId spender) const {
+  return regs_.at(a).at(spender);
+}
+
+Amount Algo2Token::total_supply(ProcessId /*caller*/) const {
+  Amount sum = 0;
+  for (AccountId a = 0; a < kat_.num_accounts(); ++a) {
+    sum = checked_add(sum, kat_.balance(a));
+  }
+  return sum;
+}
+
+void Algo2Token::reinstantiate_owner_maps() {
+  // "New k-AT instance with the same balances and an owner map reflecting
+  // the updated allowances."
+  for (AccountId a = 0; a < kat_.num_accounts(); ++a) {
+    std::vector<ProcessId> mu;
+    mu.push_back(owner_of(a));
+    for (ProcessId p = 0; p < regs_[a].size(); ++p) {
+      if (p != owner_of(a) && regs_[a][p] > 0) mu.push_back(p);
+    }
+    kat_.set_owners(a, std::move(mu));
+  }
+  ++kat_instances_;
+}
+
+Erc20State Algo2Token::emulated_state() const {
+  const std::size_t n = kat_.num_accounts();
+  std::vector<Amount> balances(n);
+  std::vector<std::vector<Amount>> allowances(n, std::vector<Amount>(n, 0));
+  for (AccountId a = 0; a < n; ++a) {
+    balances[a] = kat_.balance(a);
+    for (ProcessId p = 0; p < n; ++p) allowances[a][p] = regs_[a][p];
+  }
+  return Erc20State(std::move(balances), std::move(allowances));
+}
+
+}  // namespace tokensync

@@ -1,0 +1,96 @@
+// Algorithm 2 of the paper: wait-free implementation of the restricted
+// token object T|_{Q_k} from k-shared asset-transfer objects and atomic
+// registers (Theorem 4), giving CN(T|_{Q_k}) ≤ CN(k-AT) = k.
+//
+// The k-AT's owner map μ is static, so the paper emulates dynamic spender
+// sets by conceptually creating a *new* k-AT instance whenever an approve
+// changes some account's spender set (lines 21–23).  Our AtState carries
+// μ as a value, and `set_owners` performs exactly that versioned
+// re-instantiation (same balances, updated map).
+//
+// Two fidelity modes are provided:
+//  * kPaperFaithful — line-by-line Algorithm 2.  This mode has two
+//    observable deviations from the direct T|_{Q_k} specification, both
+//    demonstrated by tests and recorded in EXPERIMENTS.md (E6):
+//      (1) transferFrom debits the allowance register *before* invoking
+//          kAT.transfer and does not refund when the transfer fails for
+//          insufficient balance (line 10–11);
+//      (2) approve refuses whenever the account already has k enabled
+//          spenders, even if the approve would not increase the count
+//          (line 17 compares the count to k, not the post-state).
+//  * kStrict — same reduction with the refund added and the approve guard
+//    evaluated on the post-state, which makes the emulation sequentially
+//    equivalent to RestrictedObject<Erc20Spec, q ∈ Q_k>.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/asset_transfer.h"
+#include "objects/erc20.h"
+
+namespace tokensync {
+
+/// Token object T|_{Q_k} implemented from a k-AT object plus per-account
+/// allowance registers, per Algorithm 2.  The caller is passed explicitly
+/// to each method (the pseudocode's "code for process p_i").
+class Algo2Token {
+ public:
+  enum class Mode { kPaperFaithful, kStrict };
+
+  /// Builds the emulation for initial state `q`, which must lie in Q_k.
+  Algo2Token(const Erc20State& q, std::size_t k,
+             Mode mode = Mode::kStrict);
+
+  /// Algorithm 2 lines 7–11.
+  bool transfer_from(ProcessId caller, AccountId src, AccountId dst,
+                     Amount value);
+
+  /// Lines 12–13.
+  bool transfer(ProcessId caller, AccountId dst, Amount value);
+
+  /// Lines 14–15.
+  Amount balance_of(ProcessId caller, AccountId a) const;
+
+  /// Lines 16–24 (the Q_k guard).
+  bool approve(ProcessId caller, ProcessId spender, Amount value);
+
+  /// Lines 25–26.
+  Amount allowance(ProcessId caller, AccountId a, ProcessId spender) const;
+
+  /// Lines 27–28.
+  Amount total_supply(ProcessId caller) const;
+
+  /// The ERC20 state this emulation currently represents (β from the k-AT
+  /// balances, α from the registers) — used by equivalence tests.
+  Erc20State emulated_state() const;
+
+  /// Number of k-AT instances "created" so far (1 + owner-map updates);
+  /// evidence for the paper's multiple-instances device.
+  std::size_t kat_instances() const noexcept { return kat_instances_; }
+
+  std::size_t sharing_bound() const noexcept { return k_; }
+
+ private:
+  /// Lines 21–23: recompute μ(a) = {owner(a)} ∪ {p_j : R_a[j] > 0} for all
+  /// accounts — the "new k-AT instance" step.
+  void reinstantiate_owner_maps();
+
+  /// Strict-mode guard: would a successful transfer of `value` from `src`
+  /// to `dst` keep the emulated state within Q_k (class ≤ k)?  Only
+  /// funding a previously empty account can raise the class.
+  bool funding_stays_in_qk(AccountId src, AccountId dst, Amount value) const;
+
+  /// Current enabled-spender count of account a per the registers.
+  std::size_t spender_count(AccountId a) const;
+
+  std::size_t k_ = 0;
+  Mode mode_ = Mode::kStrict;
+  AtState kat_;
+  // R_a[j]: allowance registers, one array per account (line 6).
+  std::vector<std::vector<Amount>> regs_;
+  std::size_t kat_instances_ = 1;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,70 @@
+// Consensus from an ERC721 token — the paper's Sec. 6 adaptation of
+// Algorithm 1 to non-fungible tokens.
+//
+// "Algorithm 1 can be adapted so that it uses a specific token, determined
+//  by its identifier tokenId, which all the participating processes are
+//  approved to spend; the winner of this race can then be determined by
+//  invoking ownerOf."
+//
+// Setup: one NFT (tokenId 0) owned by process 0's account; every other
+// participant is an *operator* for that account (k processes may spend).
+//
+//   propose(v) for p_i:
+//     R[i].write(v)
+//     T.transferFrom(a_0, dest_i, token0)   // only the first succeeds
+//     o = T.ownerOf(token0)                 // o == dest of the winner
+//     return R[index of winner].read()
+//
+// transferFrom of an NFT is a natural "sticky" race: after the first
+// success the token no longer belongs to a_0, so all later attempts fail,
+// and ownerOf names the winner's (distinct, private) destination account.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/erc721.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Explorable configuration of the ERC721 consensus protocol.
+class Erc721ConsensusConfig {
+ public:
+  /// k participants, n = k+1 accounts: account 0 holds the NFT; account
+  /// i+1 is p_i's private destination.
+  Erc721ConsensusConfig(std::size_t k, std::vector<Amount> proposals);
+
+  std::size_t num_processes() const noexcept { return proposals_.size(); }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  std::size_t max_own_steps() const noexcept { return 4; }
+
+  friend bool operator==(const Erc721ConsensusConfig&,
+                         const Erc721ConsensusConfig&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kWrite, kTransfer, kOwnerOf, kReadReg, kDone };
+    Pc pc = kWrite;
+    ProcessId reg_to_read = 0;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+
+  Erc721State nft_;
+  std::vector<Amount> proposals_;
+  std::vector<std::optional<Amount>> regs_;
+  std::vector<Local> locals_;
+};
+
+static_assert(ProtocolConfig<Erc721ConsensusConfig>);
+
+}  // namespace tokensync

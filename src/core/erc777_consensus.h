@@ -1,0 +1,69 @@
+// Consensus from an ERC777 token — the paper's Sec. 6 adaptation:
+// "replace the approved spenders with the corresponding operators".
+//
+// ERC777 operators may spend the holder's *entire* balance, so there is no
+// per-spender allowance to scan for the winner.  Instead each participant
+// sends the full balance to its own private destination account; the
+// winner is the unique destination with a positive balance (the k-AT
+// construction's detection, which the operator mechanism makes available).
+//
+//   propose(v) for p_i:
+//     R[i].write(v)
+//     if i == 0: T.send(dest_0, B) else T.operatorSend(a_0, dest_i, B)
+//     for j in 0..k-1:
+//       if T.balanceOf(dest_j) > 0: return R[j].read()
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/erc777.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Explorable configuration of the ERC777 consensus protocol.
+class Erc777ConsensusConfig {
+ public:
+  /// k participants; account 0 holds `balance`, every non-owner participant
+  /// is an authorized operator for it; account i+1 is p_i's destination.
+  Erc777ConsensusConfig(std::size_t k, Amount balance,
+                        std::vector<Amount> proposals);
+
+  std::size_t num_processes() const noexcept { return proposals_.size(); }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  std::size_t max_own_steps() const noexcept {
+    return 2 + 2 * num_processes();
+  }
+
+  friend bool operator==(const Erc777ConsensusConfig&,
+                         const Erc777ConsensusConfig&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kWrite, kSend, kScan, kReadReg, kDone };
+    Pc pc = kWrite;
+    ProcessId scan = 0;
+    ProcessId reg_to_read = 0;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+
+  Erc777State token_;
+  Amount balance_ = 0;
+  std::vector<Amount> proposals_;
+  std::vector<std::optional<Amount>> regs_;
+  std::vector<Local> locals_;
+};
+
+static_assert(ProtocolConfig<Erc777ConsensusConfig>);
+
+}  // namespace tokensync

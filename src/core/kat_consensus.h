@@ -1,0 +1,68 @@
+// Consensus from a k-shared asset-transfer object — the CN(k-AT) ≥ k lower
+// bound of Guerraoui et al. (PODC'19), which the paper uses as its
+// baseline (Sec. 3.1, Definition 1).
+//
+// Construction: one account shared by all k processes holding balance 1,
+// plus one private destination account per process and k atomic registers.
+//
+//   propose(v) for p_i:
+//     R[i].write(v)
+//     kAT.transfer(shared, dest_i, 1)      // only one such transfer wins
+//     for j in 0..k-1:
+//       if kAT.balanceOf(dest_j) == 1: return R[j].read()
+//
+// The scan always finds a winner: p_i scans only after its own attempt, and
+// if that failed some earlier transfer must already have succeeded.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/asset_transfer.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Explorable configuration of the k-AT consensus protocol.
+class KatConsensusConfig {
+ public:
+  /// k processes 0..k-1; account 0 is the shared account (balance 1,
+  /// μ = all k processes); account i+1 is p_i's private destination.
+  KatConsensusConfig(std::size_t k, std::vector<Amount> proposals);
+
+  std::size_t num_processes() const noexcept { return proposals_.size(); }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  std::size_t max_own_steps() const noexcept {
+    return 2 + 2 * num_processes();
+  }
+
+  friend bool operator==(const KatConsensusConfig&,
+                         const KatConsensusConfig&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kWrite, kTransfer, kScan, kReadReg, kDone };
+    Pc pc = kWrite;
+    ProcessId scan = 0;
+    ProcessId reg_to_read = 0;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+
+  AtState kat_;
+  std::vector<Amount> proposals_;
+  std::vector<std::optional<Amount>> regs_;
+  std::vector<Local> locals_;
+};
+
+static_assert(ProtocolConfig<KatConsensusConfig>);
+
+}  // namespace tokensync

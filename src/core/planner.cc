@@ -1,0 +1,45 @@
+#include "core/planner.h"
+
+#include <sstream>
+
+namespace tokensync {
+
+SyncPlan plan_synchronization(const Erc20State& q) {
+  SyncPlan plan;
+  plan.level = state_class(q);
+  plan.realizable = is_synchronization_state(q, plan.level);
+  for (AccountId a = 0; a < q.num_accounts(); ++a) {
+    AccountPlan ap;
+    ap.account = a;
+    ap.group = enabled_spenders(q, a);
+    ap.consensus_free = ap.group.size() <= 1;
+    if (!ap.consensus_free) ++plan.coordinated_accounts;
+    plan.accounts.push_back(std::move(ap));
+  }
+  return plan;
+}
+
+std::string SyncPlan::to_string() const {
+  std::ostringstream os;
+  os << "synchronization level k = " << level
+     << (realizable ? " (q ∈ S_k: consensus among k realizable now)"
+                    : " (q ∈ Q_k \\ S_k)")
+     << "\n";
+  os << coordinated_accounts << " of " << accounts.size()
+     << " accounts need group consensus\n";
+  for (const auto& ap : accounts) {
+    os << "  a" << ap.account << ": ";
+    if (ap.consensus_free) {
+      os << "consensus-free (owner p" << owner_of(ap.account) << " only)\n";
+    } else {
+      os << "group {";
+      for (std::size_t i = 0; i < ap.group.size(); ++i) {
+        os << (i ? ", " : "") << "p" << ap.group[i];
+      }
+      os << "} must synchronize\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tokensync

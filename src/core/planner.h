@@ -1,0 +1,49 @@
+// Synchronization planner — the operational reading of the paper's
+// conclusion: "consensus only needs to be reached among the largest set
+// σ_q(a) of enabled spenders for the same account; the exact
+// synchronization requirements can be readily deduced from the current
+// object's state q".
+//
+// Given a token state, the planner derives, per account, the process group
+// that must synchronize for spends from that account, and classifies each
+// account as consensus-free (single spender) or group-consensus (|σ| > 1).
+// The dyntoken runtime (src/dyntoken) consumes exactly this plan.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/state_class.h"
+#include "objects/erc20.h"
+
+namespace tokensync {
+
+/// Synchronization requirement for one account.
+struct AccountPlan {
+  AccountId account = kNoAccount;
+  /// σ_q(account): the group that must agree on this account's spends.
+  std::vector<ProcessId> group;
+  /// True iff |group| == 1 — spends commute with everything else touching
+  /// other accounts, so no consensus is needed (the k = 1 / plain-AT case).
+  bool consensus_free = true;
+};
+
+/// Whole-object plan: per-account requirements plus the global summary.
+struct SyncPlan {
+  std::vector<AccountPlan> accounts;
+  /// k = state_class(q): the object's current synchronization level.
+  std::size_t level = 1;
+  /// Number of accounts that currently require group consensus.
+  std::size_t coordinated_accounts = 0;
+  /// Whether q is a synchronization state (q ∈ S_k) — i.e. the level is
+  /// realizable as consensus power right now (Theorem 2 applies).
+  bool realizable = false;
+
+  std::string to_string() const;
+};
+
+/// Derives the plan for state q.
+SyncPlan plan_synchronization(const Erc20State& q);
+
+}  // namespace tokensync

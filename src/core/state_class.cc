@@ -1,0 +1,134 @@
+#include "core/state_class.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tokensync {
+
+std::vector<ProcessId> enabled_spenders(const Erc20State& q, AccountId a) {
+  const std::size_t n = q.num_accounts();
+  TS_EXPECTS(a < n);
+  // Zero-balance convention of eq. 10's footnote: an empty account has only
+  // its owner enabled, regardless of outstanding allowances.
+  if (q.balance(a) == 0) return {owner_of(a)};
+
+  std::vector<ProcessId> out;
+  out.push_back(owner_of(a));
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p != owner_of(a) && q.allowance(a, p) > 0) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<ProcessId>> enabled_spenders(const Erc20State& q) {
+  std::vector<std::vector<ProcessId>> out;
+  out.reserve(q.num_accounts());
+  for (AccountId a = 0; a < q.num_accounts(); ++a) {
+    out.push_back(enabled_spenders(q, a));
+  }
+  return out;
+}
+
+bool unique_transfer(const Erc20State& q, AccountId a) {
+  if (q.balance(a) == 0) return false;
+  const auto sigma = enabled_spenders(q, a);
+  if (sigma.size() <= 2) return true;
+  // Every pair of distinct non-owner spenders must have allowances summing
+  // above the balance, so at most one transferFrom can ever succeed.
+  const Amount beta = q.balance(a);
+  std::vector<Amount> allowances;
+  for (ProcessId p : sigma) {
+    if (p == owner_of(a)) continue;
+    allowances.push_back(q.allowance(a, p));
+  }
+  for (std::size_t i = 0; i < allowances.size(); ++i) {
+    for (std::size_t j = i + 1; j < allowances.size(); ++j) {
+      // α_i + α_j > β required (watch for overflow: saturating compare).
+      const Amount ai = allowances[i], aj = allowances[j];
+      const bool above = (ai > beta) || (aj > beta - ai);
+      if (!above) return false;
+    }
+  }
+  return true;
+}
+
+bool spenders_can_transfer(const Erc20State& q, AccountId a) {
+  const Amount beta = q.balance(a);
+  for (ProcessId p : enabled_spenders(q, a)) {
+    if (p == owner_of(a)) continue;
+    if (q.allowance(a, p) > beta) return false;
+  }
+  return true;
+}
+
+bool race_ready(const Erc20State& q, AccountId a) {
+  return unique_transfer(q, a) && spenders_can_transfer(q, a);
+}
+
+std::size_t state_class(const Erc20State& q) {
+  std::size_t k = 1;
+  for (AccountId a = 0; a < q.num_accounts(); ++a) {
+    k = std::max(k, enabled_spenders(q, a).size());
+  }
+  return k;
+}
+
+bool is_synchronization_state(const Erc20State& q, std::size_t k) {
+  return synchronization_witness(q, k).has_value();
+}
+
+std::optional<AccountId> synchronization_witness(const Erc20State& q,
+                                                 std::size_t k) {
+  if (state_class(q) != k) return std::nullopt;  // S_k ⊆ Q_k
+  for (AccountId a = 0; a < q.num_accounts(); ++a) {
+    if (enabled_spenders(q, a).size() == k && unique_transfer(q, a)) {
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> synchronization_level(const Erc20State& q) {
+  const std::size_t k = state_class(q);
+  if (is_synchronization_state(q, k)) return k;
+  return std::nullopt;
+}
+
+Erc20State make_sync_state(std::size_t n, std::size_t k, Amount balance) {
+  TS_EXPECTS(k >= 1 && k <= n);
+  TS_EXPECTS(balance >= 2);
+  Erc20State q(n, /*deployer=*/0, balance);
+  // Allowance strictly above half the balance: any two sum above β(a_0),
+  // so U(a_0, q) holds; and each is ≤ β so a single race transfer fits.
+  const Amount allowance = balance / 2 + 1;
+  for (ProcessId p = 1; p < k; ++p) {
+    q.set_allowance(/*a=*/0, p, allowance);
+  }
+  return q;
+}
+
+std::optional<Erc20State> approve_step_up(const Erc20State& q) {
+  const std::size_t n = q.num_accounts();
+  const std::size_t k = state_class(q);
+  if (k >= n) return std::nullopt;
+  // Find an account achieving the max with positive balance, and a process
+  // not yet enabled for it.
+  for (AccountId a = 0; a < n; ++a) {
+    const auto sigma = enabled_spenders(q, a);
+    if (sigma.size() != k || q.balance(a) == 0) continue;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (std::find(sigma.begin(), sigma.end(), p) != sigma.end()) continue;
+      // The owner's approve(p, v) — one valid Δ-transition (eq. 12).
+      auto [resp, next] = Erc20Spec::apply(
+          q, owner_of(a), Erc20Op::approve(p, q.balance(a)));
+      TS_ASSERT(resp == Response::boolean(true));
+      TS_ASSERT(state_class(next) == k + 1);
+      return next;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,81 @@
+// State-dependent synchronization framework (paper Sec. 5.2).
+//
+// For a token state q = (β, α):
+//   * enabled spenders  σ_q(a) = {p : p = ω(a) ∨ α(a,p) > 0}, with the
+//     convention β(a) = 0 ⇒ σ_q(a) = {ω(a)}            (eq. 10);
+//   * state partition   Q_k = {q : max_a |σ_q(a)| = k}  (eq. 11);
+//   * unique-transfer predicate U(a, q)                 (eq. 13);
+//   * synchronization states S_k ⊆ Q_k                  (eq. 14);
+//   * the approve-driven reachability Q_k → Q_{k+1}     (eq. 12).
+//
+// S_k is defined here as {q ∈ Q_k : ∃a, |σ_q(a)| = k ∧ U(a,q)} — the
+// witness account must achieve the partition's maximum; this is the reading
+// required for S_k ⊆ Q_k used in the paper's eq. 17 (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "objects/erc20.h"
+
+namespace tokensync {
+
+/// σ_q(a): the processes enabled to transfer tokens from account a in
+/// state q (eq. 10, including the zero-balance convention).
+std::vector<ProcessId> enabled_spenders(const Erc20State& q, AccountId a);
+
+/// All σ_q(a), indexed by account.
+std::vector<std::vector<ProcessId>> enabled_spenders(const Erc20State& q);
+
+/// U(a, q) of eq. 13: β(a) > 0, and either at most 2 enabled spenders or
+/// every pair of non-owner spenders has allowances summing above β(a) —
+/// which makes the consensus "race" of Algorithm 1 admit a unique winner.
+bool unique_transfer(const Erc20State& q, AccountId a);
+
+/// Transferability: every enabled non-owner spender's allowance fits the
+/// balance, α(a, p) ≤ β(a).
+///
+/// REPRODUCTION FINDING (see EXPERIMENTS.md, E3): eq. 13 alone does not
+/// make Algorithm 1 correct.  With α(a, p) > β(a) the spender's race
+/// transferFrom can never succeed, so running solo it finds no zero
+/// allowance and returns the owner's unwritten register (⊥) — a validity
+/// violation the exhaustive sweep discovers automatically
+/// (tests/state_sweep_test.cc).  U ∧ transferability is exactly the
+/// operational characterization.
+bool spenders_can_transfer(const Erc20State& q, AccountId a);
+
+/// U(a,q) ∧ spenders_can_transfer(a,q): the race on `a` both admits a
+/// unique winner and lets every spender win solo — the precise
+/// precondition under which Algorithm 1 solves consensus for σ_q(a).
+bool race_ready(const Erc20State& q, AccountId a);
+
+/// k such that q ∈ Q_k, i.e. max_a |σ_q(a)| (eq. 11).  At least 1.
+std::size_t state_class(const Erc20State& q);
+
+/// True iff q ∈ S_k for the given k (eq. 14, with the S_k ⊆ Q_k reading).
+bool is_synchronization_state(const Erc20State& q, std::size_t k);
+
+/// If q ∈ S_k, a witness account a with |σ_q(a)| = k ∧ U(a, q).
+std::optional<AccountId> synchronization_witness(const Erc20State& q,
+                                                 std::size_t k);
+
+/// The largest k with q ∈ S_k semantics — i.e. state_class(q) if the
+/// maximizing account also satisfies U, otherwise nullopt.  This is the
+/// "consensus power readable from the state" of the paper's conclusion.
+std::optional<std::size_t> synchronization_level(const Erc20State& q);
+
+/// Constructs the canonical S_k state used across tests and benches:
+/// n accounts; account 0 has balance B; processes 1..k-1 hold allowances
+/// A_2..A_k on it satisfying U (each allowance > B/2, and ≤ B so the race
+/// transfer is individually possible); all other balances zero.
+///
+/// Requires 1 <= k <= n and B >= 2.
+Erc20State make_sync_state(std::size_t n, std::size_t k, Amount balance);
+
+/// One approve step of eq. 12: the owner of a k-spender account approves a
+/// fresh spender, moving q ∈ Q_k to q' ∈ Q_{k+1}.  Returns nullopt when no
+/// fresh process exists (k = n already) or the witness has zero balance.
+std::optional<Erc20State> approve_step_up(const Erc20State& q);
+
+}  // namespace tokensync

@@ -1,0 +1,188 @@
+#include "dyntoken/dyntoken.h"
+
+#include <algorithm>
+
+#include "common/checked.h"
+#include "common/error.h"
+
+namespace tokensync {
+
+DynTokenNode::DynTokenNode(Net& net, ProcessId self,
+                           std::vector<Amount> initial, Mode mode)
+    : self_(self),
+      mode_(mode),
+      num_replicas_(net.num_nodes()),
+      balances_(std::move(initial)),
+      allowances_(balances_.size(),
+                  std::vector<Amount>(balances_.size(), 0)),
+      next_slot_(balances_.size(), 0),
+      pending_(balances_.size()) {
+  paxos_ = std::make_unique<PaxosEngine<DynOp>>(
+      net, self,
+      [this](InstanceId id) { return resolve_group(id); },
+      [this](InstanceId id, const DynOp& op) { on_decide(id, op); });
+}
+
+std::vector<ProcessId> DynTokenNode::current_group(AccountId a) const {
+  std::vector<ProcessId> g;
+  if (mode_ == Mode::kGlobalOrder) {
+    // Baseline: every operation coordinated by the whole network.
+    for (ProcessId p = 0; p < num_replicas_; ++p) g.push_back(p);
+    return g;
+  }
+  g.push_back(owner_of(a));
+  for (ProcessId p = 0; p < allowances_[a].size(); ++p) {
+    if (p != owner_of(a) && allowances_[a][p] > 0) g.push_back(p);
+  }
+  std::sort(g.begin(), g.end());
+  return g;
+}
+
+std::optional<std::vector<ProcessId>> DynTokenNode::resolve_group(
+    InstanceId id) const {
+  const AccountId a = static_cast<AccountId>(id >> 32);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  if (a >= balances_.size()) return std::nullopt;
+  // The group of slot s is determined by the processed prefix [0, s):
+  // resolvable iff we have processed exactly up to s (or beyond — but
+  // then the instance is already decided and Paxos catch-up answers).
+  if (next_slot_[a] < slot) return std::nullopt;
+  return current_group(a);
+}
+
+bool DynTokenNode::submit(DynOp op) {
+  op.caller = self_;
+  switch (op.kind) {
+    case DynOp::Kind::kTransfer:
+      op.src = account_of(self_);
+      break;
+    case DynOp::Kind::kApprove:
+      op.src = account_of(self_);
+      if (op.spender >= balances_.size()) return false;
+      break;
+    case DynOp::Kind::kTransferFrom:
+      if (op.src >= balances_.size()) return false;
+      break;
+    case DynOp::Kind::kNone:
+      return false;
+  }
+  if (op.dst >= balances_.size() && op.kind != DynOp::Kind::kApprove) {
+    return false;
+  }
+  op.nonce = next_nonce_++;
+  my_pending_.push_back(op);
+  pump_submissions();
+  return true;
+}
+
+void DynTokenNode::pump_submissions() {
+  for (const DynOp& op : my_pending_) {
+    // Propose at the account's next unprocessed slot.  If another group
+    // member wins it, on_decide re-pumps and we target the next slot.
+    paxos_->propose(instance_of(op.src, next_slot_[op.src]), op);
+  }
+}
+
+void DynTokenNode::on_decide(InstanceId id, const DynOp& /*op*/) {
+  const AccountId a = static_cast<AccountId>(id >> 32);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  if (a >= balances_.size()) return;
+  decided_slots_[a].emplace(slot, paxos_->decision(id));
+  process_ready_slots(a);
+  pump_submissions();
+}
+
+void DynTokenNode::process_ready_slots(AccountId a) {
+  auto& slots = decided_slots_[a];
+  for (;;) {
+    auto it = slots.find(next_slot_[a]);
+    if (it == slots.end()) return;
+    const DynOp op = it->second;
+    slots.erase(it);
+    ++next_slot_[a];
+    apply_op(op);
+    // Drop our pending submissions that this decision satisfied.
+    my_pending_.erase(
+        std::remove(my_pending_.begin(), my_pending_.end(), op),
+        my_pending_.end());
+  }
+}
+
+void DynTokenNode::apply_op(const DynOp& op) {
+  ++processed_;
+  if (op.kind != DynOp::Kind::kNone) {
+    // Deduplicate by submission id: a re-proposed op that was also
+    // adopted at an earlier slot applies once; the duplicate slot is a
+    // void entry (deterministically on every replica).
+    if (!applied_ids_.insert({op.caller, op.nonce}).second) return;
+  }
+  switch (op.kind) {
+    case DynOp::Kind::kNone:
+      return;
+
+    case DynOp::Kind::kApprove:
+      // Allowance effects are immediate and slot-ordered: deterministic.
+      // This is also the group/epoch change (takes effect next slot).
+      allowances_[op.src][op.spender] = op.amount;
+      return;
+
+    case DynOp::Kind::kTransfer:
+      pending_[op.src].push_back(Movement{op.src, op.dst, op.amount});
+      drain_parked();
+      return;
+
+    case DynOp::Kind::kTransferFrom: {
+      // Deterministic allowance check at processing time: a spender that
+      // lost the allowance race aborts identically on every replica.
+      if (allowances_[op.src][op.caller] < op.amount) {
+        ++aborted_;
+        return;
+      }
+      allowances_[op.src][op.caller] -= op.amount;
+      pending_[op.src].push_back(Movement{op.src, op.dst, op.amount});
+      drain_parked();
+      return;
+    }
+  }
+}
+
+void DynTokenNode::drain_parked() {
+  // Apply fundable queue HEADS to fixpoint.  Only the head of each
+  // source's queue may apply (strict per-source FIFO), which makes the
+  // final state independent of the cross-account drain order.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (AccountId a = 0; a < pending_.size(); ++a) {
+      if (pending_[a].empty()) continue;
+      const Movement& m = pending_[a].front();
+      if (balances_[m.src] >= m.amount &&
+          !add_would_overflow(balances_[m.dst], m.amount)) {
+        balances_[m.src] -= m.amount;
+        balances_[m.dst] += m.amount;
+        pending_[a].pop_front();
+        progress = true;
+      }
+    }
+  }
+}
+
+std::uint64_t DynTokenNode::parked_movements() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& q : pending_) n += q.size();
+  return n;
+}
+
+Amount DynTokenNode::total_supply() const {
+  Amount sum = 0;
+  for (Amount b : balances_) sum = checked_add(sum, b);
+  // In-flight parked movements hold no tokens (debit and credit apply
+  // together), so the applied balances always sum to the initial supply.
+  return sum;
+}
+
+bool DynTokenNode::all_submissions_settled() const {
+  return my_pending_.empty();
+}
+
+}  // namespace tokensync

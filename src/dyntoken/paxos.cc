@@ -1,0 +1,5 @@
+// PaxosEngine is header-only (templated on the decided value type); this
+// TU anchors the library target.
+#include "dyntoken/paxos.h"
+
+namespace tokensync {}

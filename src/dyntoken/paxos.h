@@ -1,0 +1,315 @@
+// Single-decree Paxos engine over SimNet, multi-instance, with
+// callback-resolved per-instance membership.
+//
+// dyntoken (the paper's Sec. 7 future-work system) decides each
+// (account, slot) operation with one Paxos instance among the account's
+// current spender group; the membership resolver returns that group as a
+// deterministic function of the locally processed prefix, or nullopt when
+// the node cannot yet know it (the proposer then retries later).  A fixed
+// resolver turns this into textbook multi-proposer Paxos, which the tests
+// exercise standalone (agreement under message drops, delays, duels).
+//
+// Safety is ballot-quorum intersection as usual; liveness needs eventual
+// synchrony, approximated by randomized retry backoff timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/simnet.h"
+
+namespace tokensync {
+
+using InstanceId = std::uint64_t;
+
+/// Paxos wire message carrying an opaque Value.
+template <typename Value>
+struct PaxosMsg {
+  enum class Type : std::uint8_t {
+    kPrepare,   // 1a: ballot
+    kPromise,   // 1b: ballot, (accepted_ballot, accepted_value)?
+    kAccept,    // 2a: ballot, value
+    kAccepted,  // 2b: ballot
+    kNack,      // higher ballot seen (or not ready): retry later
+    kDecide,    // learned decision, disseminated to everyone
+  };
+
+  Type type = Type::kPrepare;
+  InstanceId instance = 0;
+  std::uint64_t ballot = 0;
+  Value value{};
+  bool has_accepted = false;
+  std::uint64_t accepted_ballot = 0;
+  Value accepted_value{};
+};
+
+/// One node's Paxos engine (proposer + acceptor + learner for every
+/// instance it participates in).
+template <typename Value>
+class PaxosEngine {
+ public:
+  using Net = SimNet<PaxosMsg<Value>>;
+  /// Returns the acceptor group of an instance, or nullopt if this node
+  /// cannot determine it yet.
+  using GroupResolver =
+      std::function<std::optional<std::vector<ProcessId>>(InstanceId)>;
+  using DecideHandler = std::function<void(InstanceId, const Value&)>;
+
+  PaxosEngine(Net& net, ProcessId self, GroupResolver groups,
+              DecideHandler on_decide, std::uint64_t retry_delay = 60)
+      : net_(net), self_(self), groups_(std::move(groups)),
+        on_decide_(std::move(on_decide)), retry_delay_(retry_delay),
+        backoff_rng_(0x9e3779b9u * (self + 1)) {
+    net_.set_handler(self_, [this](ProcessId from, const PaxosMsg<Value>& m) {
+      on_message(from, m);
+    });
+    net_.set_timer_handler(self_,
+                           [this](std::uint64_t id) { on_timer(id); });
+  }
+
+  /// Starts proposing `v` for `instance`.  The engine keeps retrying (with
+  /// new ballots) until the instance decides — possibly on another value.
+  void propose(InstanceId instance, const Value& v) {
+    if (decided_.contains(instance)) return;
+    auto& p = proposers_[instance];
+    if (p.active) return;  // already proposing here; keep the first value
+    p.active = true;
+    p.my_value = v;
+    start_round(instance);
+  }
+
+  bool has_decided(InstanceId instance) const {
+    return decided_.contains(instance);
+  }
+  const Value& decision(InstanceId instance) const {
+    return decided_.at(instance);
+  }
+  std::size_t decided_count() const noexcept { return decided_.size(); }
+
+ private:
+  struct Proposer {
+    bool active = false;
+    Value my_value{};
+    std::uint64_t ballot = 0;
+    // Current round state.
+    std::set<ProcessId> promises;
+    std::set<ProcessId> accepteds;
+    bool accepting = false;  // phase 2 entered
+    Value round_value{};
+    std::uint64_t best_accepted_ballot = 0;
+    bool adopted = false;
+  };
+
+  struct Acceptor {
+    std::uint64_t promised = 0;
+    bool has_accepted = false;
+    std::uint64_t accepted_ballot = 0;
+    Value accepted_value{};
+  };
+
+  std::uint64_t make_ballot(std::uint64_t round) const {
+    return round * 256 + self_ + 1;  // distinct per proposer, increasing
+  }
+
+  void start_round(InstanceId instance) {
+    auto& p = proposers_[instance];
+    const auto group = groups_(instance);
+    if (!group) {
+      // Cannot resolve the group yet: retry after a delay.
+      net_.set_timer(self_, retry_delay_, instance);
+      return;
+    }
+    p.ballot = make_ballot(p.ballot / 256 + 1);
+    p.promises.clear();
+    p.accepteds.clear();
+    p.accepting = false;
+    p.adopted = false;
+    p.best_accepted_ballot = 0;
+    PaxosMsg<Value> m;
+    m.type = PaxosMsg<Value>::Type::kPrepare;
+    m.instance = instance;
+    m.ballot = p.ballot;
+    for (ProcessId q : *group) net_.send(self_, q, m);
+    // Re-arm the retry timer (randomized backoff defuses proposer duels).
+    net_.set_timer(self_,
+                   retry_delay_ + backoff_rng_.below(retry_delay_ + 1),
+                   instance);
+  }
+
+  void on_timer(InstanceId instance) {
+    auto it = proposers_.find(instance);
+    if (it == proposers_.end() || !it->second.active) return;
+    if (decided_.contains(instance)) return;
+    start_round(instance);  // new, higher ballot
+  }
+
+  void decide(InstanceId instance, const Value& v) {
+    if (decided_.contains(instance)) return;
+    decided_.emplace(instance, v);
+    auto it = proposers_.find(instance);
+    if (it != proposers_.end()) it->second.active = false;
+    // Disseminate to all nodes — learners are everyone, not just the
+    // acceptor group (every replica applies every decided operation).
+    PaxosMsg<Value> m;
+    m.type = PaxosMsg<Value>::Type::kDecide;
+    m.instance = instance;
+    m.value = v;
+    net_.send_all(self_, m);
+    on_decide_(instance, v);
+  }
+
+  void on_message(ProcessId from, const PaxosMsg<Value>& m) {
+    using T = typename PaxosMsg<Value>::Type;
+    // Catch-up: any traffic for an already-decided instance is answered
+    // with the decision (heals dropped kDecide messages).
+    if (m.type != T::kDecide) {
+      auto d = decided_.find(m.instance);
+      if (d != decided_.end()) {
+        PaxosMsg<Value> r;
+        r.type = T::kDecide;
+        r.instance = m.instance;
+        r.value = d->second;
+        net_.send(self_, from, r);
+        return;
+      }
+    }
+    switch (m.type) {
+      case T::kPrepare: {
+        // Participate only once the group is resolvable and includes us —
+        // guarantees every acceptor of an instance agrees on the group.
+        const auto group = groups_(m.instance);
+        if (!group || !contains(*group, self_)) {
+          reply_nack(from, m.instance, m.ballot);
+          return;
+        }
+        Acceptor& a = acceptors_[m.instance];
+        if (m.ballot <= a.promised) {
+          reply_nack(from, m.instance, m.ballot);
+          return;
+        }
+        a.promised = m.ballot;
+        PaxosMsg<Value> r;
+        r.type = T::kPromise;
+        r.instance = m.instance;
+        r.ballot = m.ballot;
+        r.has_accepted = a.has_accepted;
+        r.accepted_ballot = a.accepted_ballot;
+        r.accepted_value = a.accepted_value;
+        net_.send(self_, from, r);
+        return;
+      }
+
+      case T::kPromise: {
+        auto it = proposers_.find(m.instance);
+        if (it == proposers_.end()) return;
+        Proposer& p = it->second;
+        if (!p.active || m.ballot != p.ballot || p.accepting) return;
+        p.promises.insert(from);
+        if (m.has_accepted && m.accepted_ballot > p.best_accepted_ballot) {
+          p.best_accepted_ballot = m.accepted_ballot;
+          p.round_value = m.accepted_value;
+          p.adopted = true;
+        }
+        const auto group = groups_(m.instance);
+        if (!group) return;
+        if (p.promises.size() * 2 > group->size()) {
+          // Majority: phase 2 with the highest accepted value, or ours.
+          p.accepting = true;
+          if (!p.adopted) p.round_value = p.my_value;
+          PaxosMsg<Value> acc;
+          acc.type = T::kAccept;
+          acc.instance = m.instance;
+          acc.ballot = p.ballot;
+          acc.value = p.round_value;
+          for (ProcessId q : *group) net_.send(self_, q, acc);
+        }
+        return;
+      }
+
+      case T::kAccept: {
+        const auto group = groups_(m.instance);
+        if (!group || !contains(*group, self_)) {
+          reply_nack(from, m.instance, m.ballot);
+          return;
+        }
+        Acceptor& a = acceptors_[m.instance];
+        if (m.ballot < a.promised) {
+          reply_nack(from, m.instance, m.ballot);
+          return;
+        }
+        a.promised = m.ballot;
+        a.has_accepted = true;
+        a.accepted_ballot = m.ballot;
+        a.accepted_value = m.value;
+        PaxosMsg<Value> r;
+        r.type = T::kAccepted;
+        r.instance = m.instance;
+        r.ballot = m.ballot;
+        net_.send(self_, from, r);
+        return;
+      }
+
+      case T::kAccepted: {
+        auto it = proposers_.find(m.instance);
+        if (it == proposers_.end()) return;
+        Proposer& p = it->second;
+        if (!p.active || m.ballot != p.ballot || !p.accepting) return;
+        p.accepteds.insert(from);
+        const auto group = groups_(m.instance);
+        if (!group) return;
+        if (p.accepteds.size() * 2 > group->size()) {
+          decide(m.instance, p.round_value);
+        }
+        return;
+      }
+
+      case T::kNack:
+        // Higher ballot or unresolved group on the other side; the retry
+        // timer will start a fresh round.
+        return;
+
+      case T::kDecide: {
+        if (!decided_.contains(m.instance)) {
+          decided_.emplace(m.instance, m.value);
+          auto it = proposers_.find(m.instance);
+          if (it != proposers_.end()) it->second.active = false;
+          on_decide_(m.instance, m.value);
+        }
+        return;
+      }
+    }
+  }
+
+  void reply_nack(ProcessId to, InstanceId instance, std::uint64_t ballot) {
+    PaxosMsg<Value> r;
+    r.type = PaxosMsg<Value>::Type::kNack;
+    r.instance = instance;
+    r.ballot = ballot;
+    net_.send(self_, to, r);
+  }
+
+  static bool contains(const std::vector<ProcessId>& v, ProcessId p) {
+    for (ProcessId q : v) {
+      if (q == p) return true;
+    }
+    return false;
+  }
+
+  Net& net_;
+  ProcessId self_;
+  GroupResolver groups_;
+  DecideHandler on_decide_;
+  std::uint64_t retry_delay_;
+  Rng backoff_rng_;
+  std::map<InstanceId, Proposer> proposers_;
+  std::map<InstanceId, Acceptor> acceptors_;
+  std::map<InstanceId, Value> decided_;
+};
+
+}  // namespace tokensync

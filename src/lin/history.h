@@ -1,0 +1,43 @@
+// Concurrent-history representation for linearizability checking.
+//
+// A history is a set of completed operations, each with an invocation and
+// a response timestamp drawn from a single global order (indices).  Op A
+// precedes op B (A <_H B) iff A returned before B was invoked; operations
+// whose intervals overlap are concurrent.  Histories are produced by the
+// simulated substrate (sched/) or recorded from real threads (atomic/)
+// via an atomic tick counter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// One completed operation in a concurrent history.
+template <typename Spec>
+struct HistoryOp {
+  ProcessId caller = 0;
+  typename Spec::Op op;
+  Response response;
+  std::size_t invoked = 0;   ///< global timestamp of the invocation
+  std::size_t returned = 0;  ///< global timestamp of the response
+};
+
+/// A complete concurrent history (every invocation has its response).
+template <typename Spec>
+using History = std::vector<HistoryOp<Spec>>;
+
+/// Convenience recorder handing out monotonically increasing timestamps;
+/// thread-safe when backed by std::atomic (see atomic/recorder.h).
+class TickCounter {
+ public:
+  std::size_t next() noexcept { return tick_++; }
+
+ private:
+  std::size_t tick_ = 0;
+};
+
+}  // namespace tokensync

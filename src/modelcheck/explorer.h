@@ -1,0 +1,190 @@
+// Exhaustive interleaving explorer for step-granular protocols.
+//
+// Explores EVERY schedule of a ProtocolConfig by DFS over the configuration
+// graph, memoizing visited configurations (configurations are values, so
+// two schedules reaching the same configuration share their futures).
+//
+// Checked properties (paper Sec. 3.1's consensus definition):
+//   * agreement  — at every reachable configuration, all already-decided
+//     processes hold the same decision.  Invariant-style checking makes
+//     crash scenarios implicit: a run in which p crashes after deciding is
+//     a reachable configuration in which only p has decided.
+//   * validity   — every decision is some process's proposal (never ⊥).
+//   * termination/wait-freedom — from every reachable configuration, every
+//     enabled process decides within `step_bound` of ITS OWN steps when run
+//     solo (solo-run check), and no cycle of configurations exists in which
+//     a process is enabled but undecided.
+//
+// On violation, a counterexample schedule (sequence of process ids from
+// the initial configuration) is produced; sched/run_schedule replays it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Result of an exhaustive exploration.
+struct ExploreResult {
+  std::size_t configs_explored = 0;
+  bool agreement = true;
+  bool validity = true;
+  bool termination = true;
+  std::string detail;
+  /// Schedule reaching the first violation (empty if none).
+  std::vector<ProcessId> counterexample;
+
+  bool all_ok() const noexcept { return agreement && validity && termination; }
+};
+
+namespace detail {
+
+template <ProtocolConfig C>
+struct ConfigHash {
+  std::size_t operator()(const C& c) const noexcept { return c.hash(); }
+};
+
+/// Per-config safety check shared by the explorer and the valence engine.
+template <ProtocolConfig C>
+bool check_config(const C& c, const std::vector<Amount>& proposals,
+                  ExploreResult& out) {
+  std::optional<Decision> first;
+  for (ProcessId p = 0; p < c.num_processes(); ++p) {
+    const auto d = c.decision(p);
+    if (!d) continue;
+    if (d->bottom) {
+      out.validity = false;
+      out.detail = "process decided bottom (unwritten register)";
+      return false;
+    }
+    bool proposed = false;
+    for (Amount v : proposals) proposed = proposed || v == d->value;
+    if (!proposed) {
+      out.validity = false;
+      out.detail = "decision " + std::to_string(d->value) +
+                   " was never proposed";
+      return false;
+    }
+    if (!first) {
+      first = d;
+    } else if (!(*first == *d)) {
+      out.agreement = false;
+      out.detail = "two processes decided " + std::to_string(first->value) +
+                   " and " + std::to_string(d->value);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Exhaustively explores all interleavings of `initial`.
+///
+/// `proposals` — the values proposed (for the validity check);
+/// `solo_bound` — wait-freedom bound on a process's own solo steps from any
+/// reachable configuration (pass the protocol's max_own_steps()).
+/// `check_solo` — whether to run the (more expensive) solo-run check.
+template <ProtocolConfig C>
+ExploreResult explore_all(const C& initial,
+                          const std::vector<Amount>& proposals,
+                          std::size_t solo_bound, bool check_solo = true) {
+  ExploreResult out;
+  std::unordered_set<C, detail::ConfigHash<C>> visited;
+  // On-stack fingerprints for cycle detection (config graph cycles mean an
+  // adversarial scheduler can prevent decisions forever).
+  std::unordered_set<C, detail::ConfigHash<C>> on_stack;
+  std::vector<ProcessId> path;
+
+  // Iterative DFS with explicit frames to survive deep graphs.
+  struct Frame {
+    C config;
+    ProcessId next_p = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{initial, 0});
+  visited.insert(initial);
+  on_stack.insert(initial);
+  if (!detail::check_config(initial, proposals, out)) return out;
+  out.configs_explored = 1;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const std::size_t n = f.config.num_processes();
+
+    // Advance to the next enabled process.
+    while (f.next_p < n && !f.config.enabled(f.next_p)) ++f.next_p;
+
+    if (f.next_p >= n) {
+      on_stack.erase(f.config);
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+
+    const ProcessId p = f.next_p++;
+    C child = f.config;
+    child.step(p);
+    path.push_back(p);
+
+    if (!detail::check_config(child, proposals, out)) {
+      out.counterexample = path;
+      return out;
+    }
+
+    if (on_stack.contains(child)) {
+      // A schedule can revisit this configuration forever without letting
+      // the enabled processes decide: wait-freedom is violated.
+      out.termination = false;
+      out.detail = "configuration cycle: adversarial schedule prevents "
+                   "decisions forever";
+      out.counterexample = path;
+      return out;
+    }
+
+    if (visited.contains(child)) {
+      path.pop_back();
+      continue;
+    }
+
+    if (check_solo) {
+      // Wait-freedom: every enabled process, run solo from here, decides
+      // within its own step bound.
+      for (ProcessId q = 0; q < n; ++q) {
+        if (!child.enabled(q)) continue;
+        C solo = child;
+        std::size_t steps = 0;
+        while (solo.enabled(q) && steps < solo_bound) {
+          solo.step(q);
+          ++steps;
+        }
+        if (solo.enabled(q)) {
+          out.termination = false;
+          out.detail = "process p" + std::to_string(q) +
+                       " does not decide within " +
+                       std::to_string(solo_bound) + " solo steps";
+          out.counterexample = path;
+          return out;
+        }
+        if (!detail::check_config(solo, proposals, out)) {
+          out.counterexample = path;
+          return out;
+        }
+      }
+    }
+
+    visited.insert(child);
+    on_stack.insert(child);
+    ++out.configs_explored;
+    stack.push_back(Frame{std::move(child), 0});
+  }
+  return out;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,130 @@
+#include "modelcheck/register_protocols.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace tokensync {
+
+NaiveRegisterConsensus::NaiveRegisterConsensus(Amount v0, Amount v1)
+    : proposals_{v0, v1} {}
+
+bool NaiveRegisterConsensus::enabled(ProcessId i) const {
+  return i < 2 && locals_[i].pc != Local::kDone;
+}
+
+void NaiveRegisterConsensus::step(ProcessId i) {
+  TS_EXPECTS(enabled(i));
+  Local& me = locals_[i];
+  switch (me.pc) {
+    case Local::kWrite:
+      regs_[i] = proposals_[i];
+      me.pc = Local::kRead;
+      return;
+    case Local::kRead: {
+      const auto& other = regs_[1 - i];
+      me.decided = other ? Decision{false, *other}
+                         : Decision{false, proposals_[i]};
+      me.pc = Local::kDone;
+      return;
+    }
+    case Local::kDone:
+      TS_ASSERT(false);
+  }
+}
+
+std::optional<Decision> NaiveRegisterConsensus::decision(ProcessId i) const {
+  if (locals_[i].pc != Local::kDone) return std::nullopt;
+  return locals_[i].decided;
+}
+
+std::size_t NaiveRegisterConsensus::hash() const noexcept {
+  std::size_t seed = 0;
+  for (const auto& r : regs_) hash_combine(seed, r ? *r + 1 : 0);
+  for (const auto& l : locals_) {
+    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
+                           (static_cast<std::uint64_t>(l.decided.value)
+                            << 8));
+  }
+  return seed;
+}
+
+std::string NaiveRegisterConsensus::next_op_name(ProcessId i) const {
+  std::ostringstream os;
+  os << "p" << i << ": ";
+  switch (locals_[i].pc) {
+    case Local::kWrite:
+      os << "R[" << i << "].write(" << proposals_[i] << ")";
+      break;
+    case Local::kRead:
+      os << "R[" << (1 - i) << "].read()";
+      break;
+    case Local::kDone:
+      os << "(decided)";
+      break;
+  }
+  return os.str();
+}
+
+TurnRegisterConsensus::TurnRegisterConsensus(Amount v0, Amount v1)
+    : proposals_{v0, v1} {}
+
+bool TurnRegisterConsensus::enabled(ProcessId i) const {
+  return i < 2 && locals_[i].pc != Local::kDone;
+}
+
+void TurnRegisterConsensus::step(ProcessId i) {
+  TS_EXPECTS(enabled(i));
+  Local& me = locals_[i];
+  switch (me.pc) {
+    case Local::kRead:
+      if (turn_ == i) {
+        me.decided = Decision{false, proposals_[i]};
+        me.pc = Local::kDone;
+      } else {
+        me.pc = Local::kWrite;
+      }
+      return;
+    case Local::kWrite:
+      turn_ = i;
+      me.pc = Local::kRead;
+      return;
+    case Local::kDone:
+      TS_ASSERT(false);
+  }
+}
+
+std::optional<Decision> TurnRegisterConsensus::decision(ProcessId i) const {
+  if (locals_[i].pc != Local::kDone) return std::nullopt;
+  return locals_[i].decided;
+}
+
+std::size_t TurnRegisterConsensus::hash() const noexcept {
+  std::size_t seed = turn_;
+  for (const auto& l : locals_) {
+    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
+                           (static_cast<std::uint64_t>(l.decided.value)
+                            << 8));
+  }
+  return seed;
+}
+
+std::string TurnRegisterConsensus::next_op_name(ProcessId i) const {
+  std::ostringstream os;
+  os << "p" << i << ": ";
+  switch (locals_[i].pc) {
+    case Local::kRead:
+      os << "turn.read()";
+      break;
+    case Local::kWrite:
+      os << "turn.write(" << i << ")";
+      break;
+    case Local::kDone:
+      os << "(decided)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace tokensync

@@ -1,0 +1,86 @@
+// Register-only consensus attempts — context for CN(register) = 1.
+//
+// FLP and Herlihy's hierarchy (paper Sec. 3.1) say no wait-free consensus
+// for 2 processes exists from atomic registers.  A universal quantification
+// over protocols cannot be model-checked, but the two canonical *attempts*
+// below exhibit the two possible failure modes, which the explorer finds
+// automatically (experiment E7):
+//
+//  * NaiveRegisterConsensus — "write own, read other, adopt if present":
+//    both processes can adopt each other's value and disagree.
+//  * TurnRegisterConsensus — "steal the turn register until it is yours":
+//    an alternating schedule flips the turn forever (configuration cycle:
+//    wait-freedom violation), and a decide-then-steal schedule violates
+//    agreement.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/ids.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Two processes; R[i].write(v_i) then R[1-i].read(); adopt the other's
+/// value if present, else decide own.
+class NaiveRegisterConsensus {
+ public:
+  NaiveRegisterConsensus(Amount v0, Amount v1);
+
+  std::size_t num_processes() const noexcept { return 2; }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  friend bool operator==(const NaiveRegisterConsensus&,
+                         const NaiveRegisterConsensus&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kWrite, kRead, kDone };
+    Pc pc = kWrite;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+  Amount proposals_[2];
+  std::optional<Amount> regs_[2];
+  Local locals_[2];
+};
+
+static_assert(ProtocolConfig<NaiveRegisterConsensus>);
+
+/// Two processes and one shared `turn` register (initially 0):
+///   loop { read turn; if turn == i decide own; else write turn := i }
+class TurnRegisterConsensus {
+ public:
+  TurnRegisterConsensus(Amount v0, Amount v1);
+
+  std::size_t num_processes() const noexcept { return 2; }
+  bool enabled(ProcessId i) const;
+  void step(ProcessId i);
+  std::optional<Decision> decision(ProcessId i) const;
+  std::size_t hash() const noexcept;
+  std::string next_op_name(ProcessId i) const;
+
+  friend bool operator==(const TurnRegisterConsensus&,
+                         const TurnRegisterConsensus&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kRead, kWrite, kDone };
+    Pc pc = kRead;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+  Amount proposals_[2];
+  ProcessId turn_ = 0;
+  Local locals_[2];
+};
+
+static_assert(ProtocolConfig<TurnRegisterConsensus>);
+
+}  // namespace tokensync

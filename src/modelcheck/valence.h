@@ -1,0 +1,173 @@
+// Valence analysis — mechanizing the vocabulary of Theorem 3's proof.
+//
+// For a binary-input consensus protocol configuration c:
+//   * c is v-valent if every extension decides v; bivalent if both values
+//     are still reachable;
+//   * c is CRITICAL if it is bivalent and every single step by any process
+//     leads to a univalent configuration.
+//
+// "Every wait-free consensus protocol has a critical state" (Herlihy,
+// quoted by the paper): the analyzer below finds one for any concrete
+// protocol configuration and reports, per process, the pending operation
+// (the paper's decision steps o1, o2, ...) together with the valence of
+// the resulting configuration — the data Figure 1 visualizes.
+//
+// Requires an acyclic configuration graph (true for the bounded, pc-
+// monotone protocols in src/core; the spinning register protocols are
+// handled by the explorer's cycle detection instead).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "modelcheck/explorer.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Valence bitmask: bit 0 = values[0] reachable, bit 1 = values[1].
+using ValenceMask = std::uint8_t;
+
+inline constexpr ValenceMask kValence0 = 1;
+inline constexpr ValenceMask kValence1 = 2;
+inline constexpr ValenceMask kBivalent = 3;
+
+/// Analyzer over one protocol instance with two candidate decisions.
+template <ProtocolConfig C>
+class ValenceAnalyzer {
+ public:
+  /// `values` are the two proposals in play (e.g. {0, 1}).
+  ValenceAnalyzer(C initial, std::array<Amount, 2> values)
+      : initial_(std::move(initial)), values_(values) {}
+
+  /// Valence of the initial configuration (kBivalent for any non-trivial
+  /// consensus instance — the FLP/Herlihy starting point).
+  ValenceMask initial_valence() { return valence(initial_); }
+
+  /// Valence of an arbitrary configuration.
+  ValenceMask valence(const C& c) {
+    auto it = memo_.find(c);
+    if (it != memo_.end()) return it->second;
+
+    ValenceMask mask = 0;
+    // A decided process fixes the execution's decision.
+    std::optional<Amount> decided;
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+      if (auto d = c.decision(p); d && !d->bottom) {
+        decided = d->value;
+        break;
+      }
+    }
+    if (decided) {
+      if (*decided == values_[0]) mask |= kValence0;
+      if (*decided == values_[1]) mask |= kValence1;
+    } else {
+      bool any = false;
+      for (ProcessId p = 0; p < c.num_processes(); ++p) {
+        if (!c.enabled(p)) continue;
+        any = true;
+        C child = c;
+        child.step(p);
+        mask |= valence(child);
+      }
+      TS_ASSERT(any);  // undecided yet nobody enabled: malformed protocol
+    }
+    memo_.emplace(c, mask);
+    return mask;
+  }
+
+  /// One outgoing step from a configuration: who moves, what operation,
+  /// and the valence after it.
+  struct StepInfo {
+    ProcessId process;
+    std::string op;
+    ValenceMask child_valence;
+  };
+
+  /// A critical configuration with its decision steps.
+  struct Critical {
+    C config;
+    std::vector<StepInfo> steps;
+    /// Schedule from the initial configuration reaching `config`.
+    std::vector<ProcessId> schedule;
+  };
+
+  /// Finds a critical configuration (bivalent, all successors univalent),
+  /// if one is reachable.  DFS from the initial configuration.
+  std::optional<Critical> find_critical() {
+    std::unordered_set<C, detail::ConfigHash<C>> seen;
+    std::vector<ProcessId> path;
+    return find_critical_rec(initial_, seen, path);
+  }
+
+  std::size_t memo_size() const noexcept { return memo_.size(); }
+
+ private:
+  std::optional<Critical> find_critical_rec(
+      const C& c, std::unordered_set<C, detail::ConfigHash<C>>& seen,
+      std::vector<ProcessId>& path) {
+    if (seen.contains(c)) return std::nullopt;
+    seen.insert(c);
+    if (valence(c) != kBivalent) return std::nullopt;
+
+    std::vector<StepInfo> steps;
+    bool all_univalent = true;
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+      if (!c.enabled(p)) continue;
+      C child = c;
+      child.step(p);
+      const ValenceMask vm = valence(child);
+      steps.push_back(StepInfo{p, c.next_op_name(p), vm});
+      all_univalent = all_univalent && vm != kBivalent;
+    }
+    if (all_univalent && !steps.empty()) {
+      return Critical{c, std::move(steps), path};
+    }
+    // Stay inside the bivalent region: recursing into a bivalent child
+    // keeps the invariant that a critical state is found if one exists.
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+      if (!c.enabled(p)) continue;
+      C child = c;
+      child.step(p);
+      if (valence(child) != kBivalent) continue;
+      path.push_back(p);
+      if (auto found = find_critical_rec(child, seen, path)) return found;
+      path.pop_back();
+    }
+    return std::nullopt;
+  }
+
+  C initial_;
+  std::array<Amount, 2> values_;
+  std::unordered_map<C, ValenceMask, detail::ConfigHash<C>> memo_;
+};
+
+/// Renders a critical configuration as a Figure-1 style transition diagram
+/// ("possible state transitions from the critical state q_c").
+template <ProtocolConfig C>
+std::string render_critical(const typename ValenceAnalyzer<C>::Critical& cr) {
+  std::string out;
+  out += "critical configuration q_c reached by schedule [";
+  for (std::size_t i = 0; i < cr.schedule.size(); ++i) {
+    out += (i ? " " : "") + std::string("p") +
+           std::to_string(cr.schedule[i]);
+  }
+  out += "]\n";
+  for (const auto& s : cr.steps) {
+    out += "  q_c --(";
+    out += s.op;
+    out += ")--> ";
+    out += (s.child_valence == kValence0   ? "0-valent"
+            : s.child_valence == kValence1 ? "1-valent"
+                                           : "bivalent");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tokensync

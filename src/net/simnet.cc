@@ -1,0 +1,10 @@
+// SimNet is header-only (templated on the wire message); this TU anchors
+// the library target and holds shared non-template helpers.
+#include "net/simnet.h"
+
+namespace tokensync {
+
+// Reserved for future non-template helpers (trace dumping, pcap-style
+// logging).  The configuration structs are aggregates by design.
+
+}  // namespace tokensync

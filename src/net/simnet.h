@@ -1,0 +1,154 @@
+// Discrete-event message-passing network simulator.
+//
+// The paper's Sec. 7 calls for broadcast-based token protocols; this
+// substrate provides the asynchronous network they run on: point-to-point
+// messages with randomized per-message delays, probabilistic drops,
+// programmable partitions, node crashes, and per-node timers.  Everything
+// is driven by one seeded Rng, so every run is reproducible.
+//
+// SimNet is templated on the wire-message type; each protocol defines its
+// own message struct and registers a delivery handler per node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace tokensync {
+
+/// Simulation parameters.
+struct NetConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t min_delay = 1;    ///< inclusive, simulated time units
+  std::uint64_t max_delay = 10;   ///< inclusive
+  std::uint64_t drop_num = 0;     ///< drop probability drop_num/drop_den
+  std::uint64_t drop_den = 100;
+};
+
+/// Network statistics (benchmarks report these).
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+template <typename Msg>
+class SimNet {
+ public:
+  using Handler = std::function<void(ProcessId from, const Msg&)>;
+  using TimerHandler = std::function<void(std::uint64_t timer_id)>;
+  /// Returns true iff the link from->to is currently up.
+  using LinkFilter = std::function<bool(ProcessId from, ProcessId to,
+                                        std::uint64_t now)>;
+
+  SimNet(std::size_t n, NetConfig cfg)
+      : cfg_(cfg), rng_(cfg.seed), handlers_(n), timer_handlers_(n),
+        crashed_(n, false) {}
+
+  std::size_t num_nodes() const noexcept { return handlers_.size(); }
+  std::uint64_t now() const noexcept { return now_; }
+  const NetStats& stats() const noexcept { return stats_; }
+
+  void set_handler(ProcessId node, Handler h) {
+    handlers_.at(node) = std::move(h);
+  }
+  void set_timer_handler(ProcessId node, TimerHandler h) {
+    timer_handlers_.at(node) = std::move(h);
+  }
+  void set_link_filter(LinkFilter f) { link_filter_ = std::move(f); }
+
+  /// Crash-stop: the node neither sends nor receives from now on.
+  void crash(ProcessId node) { crashed_.at(node) = true; }
+  bool is_crashed(ProcessId node) const { return crashed_.at(node); }
+
+  /// Sends m from `from` to `to` (self-sends allowed: delivered like any
+  /// other message).  Drops and partitions apply.
+  void send(ProcessId from, ProcessId to, Msg m) {
+    TS_EXPECTS(from < num_nodes() && to < num_nodes());
+    if (crashed_[from]) return;
+    ++stats_.sent;
+    if (cfg_.drop_num > 0 && rng_.chance(cfg_.drop_num, cfg_.drop_den)) {
+      ++stats_.dropped;
+      return;
+    }
+    if (link_filter_ && !link_filter_(from, to, now_)) {
+      ++stats_.dropped;
+      return;
+    }
+    const std::uint64_t delay =
+        rng_.range(cfg_.min_delay, cfg_.max_delay);
+    events_.push(Event{now_ + delay, next_tie_++, from, to, std::move(m),
+                       false, 0});
+  }
+
+  /// Sends m to every node (including the sender).
+  void send_all(ProcessId from, const Msg& m) {
+    for (ProcessId to = 0; to < num_nodes(); ++to) send(from, to, m);
+  }
+
+  /// Schedules a timer callback at now + delay.
+  void set_timer(ProcessId node, std::uint64_t delay,
+                 std::uint64_t timer_id) {
+    events_.push(
+        Event{now_ + delay, next_tie_++, node, node, Msg{}, true, timer_id});
+  }
+
+  /// Delivers the next event; false when the queue is empty.
+  bool step() {
+    if (events_.empty()) return false;
+    Event e = events_.top();
+    events_.pop();
+    now_ = e.time;
+    if (crashed_[e.to]) return true;
+    if (e.is_timer) {
+      if (timer_handlers_[e.to]) timer_handlers_[e.to](e.timer_id);
+      return true;
+    }
+    ++stats_.delivered;
+    if (handlers_[e.to]) handlers_[e.to](e.from, e.msg);
+    return true;
+  }
+
+  /// Runs until quiescence or `max_events`; returns events processed.
+  std::size_t run(std::size_t max_events = 1u << 22) {
+    std::size_t processed = 0;
+    while (processed < max_events && step()) ++processed;
+    return processed;
+  }
+
+  bool idle() const noexcept { return events_.empty(); }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t tie;  // FIFO tiebreak for equal timestamps
+    ProcessId from;
+    ProcessId to;
+    Msg msg;
+    bool is_timer;
+    std::uint64_t timer_id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.tie > b.tie;
+    }
+  };
+
+  NetConfig cfg_;
+  Rng rng_;
+  std::uint64_t now_ = 0;
+  std::uint64_t next_tie_ = 0;
+  std::vector<Handler> handlers_;
+  std::vector<TimerHandler> timer_handlers_;
+  std::vector<bool> crashed_;
+  LinkFilter link_filter_;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  NetStats stats_;
+};
+
+}  // namespace tokensync

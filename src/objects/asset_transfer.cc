@@ -1,0 +1,114 @@
+#include "objects/asset_transfer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/checked.h"
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace tokensync {
+
+AtState::AtState(std::vector<Amount> balances)
+    : balances_(std::move(balances)) {
+  owners_.resize(balances_.size());
+  for (std::size_t a = 0; a < balances_.size(); ++a) {
+    owners_[a] = {static_cast<ProcessId>(a)};
+  }
+}
+
+AtState::AtState(std::vector<Amount> balances,
+                 std::vector<std::vector<ProcessId>> owners)
+    : balances_(std::move(balances)), owners_(std::move(owners)) {
+  TS_EXPECTS(owners_.size() == balances_.size());
+  for (auto& os : owners_) std::sort(os.begin(), os.end());
+}
+
+bool AtState::is_owner(AccountId a, ProcessId p) const {
+  const auto& os = owners_.at(a);
+  return std::binary_search(os.begin(), os.end(), p);
+}
+
+void AtState::set_owners(AccountId a, std::vector<ProcessId> ps) {
+  std::sort(ps.begin(), ps.end());
+  owners_.at(a) = std::move(ps);
+}
+
+std::size_t AtState::sharing_degree() const noexcept {
+  std::size_t k = 0;
+  for (const auto& os : owners_) k = std::max(k, os.size());
+  return k;
+}
+
+Amount AtState::total() const noexcept {
+  Amount sum = 0;
+  for (Amount b : balances_) sum = checked_add(sum, b);
+  return sum;
+}
+
+std::size_t AtState::hash() const noexcept {
+  std::size_t seed = hash_range(balances_);
+  for (const auto& os : owners_) hash_combine(seed, hash_range(os));
+  return seed;
+}
+
+std::string AtState::to_string() const {
+  std::ostringstream os;
+  os << "balances=[";
+  for (std::size_t i = 0; i < balances_.size(); ++i) {
+    os << (i ? ", " : "") << balances_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+AtOp AtOp::transfer(AccountId src, AccountId dst, Amount v) {
+  AtOp op;
+  op.kind = Kind::kTransfer;
+  op.src = src;
+  op.dst = dst;
+  op.value = v;
+  return op;
+}
+
+AtOp AtOp::balance_of(AccountId a) {
+  AtOp op;
+  op.kind = Kind::kBalanceOf;
+  op.src = a;
+  return op;
+}
+
+std::string AtOp::to_string() const {
+  std::ostringstream os;
+  if (kind == Kind::kTransfer) {
+    os << "transfer(a" << src << ", a" << dst << ", " << value << ")";
+  } else {
+    os << "balanceOf(a" << src << ")";
+  }
+  return os.str();
+}
+
+Applied<AtState> AtSpec::apply(const AtState& q, ProcessId caller,
+                               const AtOp& op) {
+  const std::size_t n = q.num_accounts();
+  switch (op.kind) {
+    case AtOp::Kind::kTransfer: {
+      TS_EXPECTS(op.src < n && op.dst < n);
+      // Δ (Definition 1): requires caller ∈ μ(a_s) and β(a_s) ≥ v.
+      if (!q.is_owner(op.src, caller) || q.balance(op.src) < op.value ||
+          add_would_overflow(q.balance(op.dst), op.value)) {
+        return {Response::boolean(false), q};
+      }
+      AtState next = q;
+      next.set_balance(op.src, checked_sub(next.balance(op.src), op.value));
+      next.set_balance(op.dst, checked_add(next.balance(op.dst), op.value));
+      return {Response::boolean(true), std::move(next)};
+    }
+    case AtOp::Kind::kBalanceOf:
+      TS_EXPECTS(op.src < n);
+      return {Response::number(q.balance(op.src)), q};
+  }
+  TS_ASSERT(false);
+}
+
+}  // namespace tokensync

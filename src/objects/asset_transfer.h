@@ -1,0 +1,96 @@
+// Asset-transfer object — Definition 1 (Guerraoui et al., PODC'19), the
+// baseline the paper compares ERC20 tokens against.
+//
+// Unlike the token object, AT supports *shared* accounts through the static
+// owner map μ: A → 2^Π.  If max_a |μ(a)| = k the object is a k-AT and
+// CN(k-AT) = k (their Theorem; our mechanization is E7 in EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Value-semantic AT state: balances β plus the (fixed) owner map μ.
+///
+/// μ is part of the state value so that specifications remain pure, but no
+/// Δ-transition of Definition 1 modifies it; only Algorithm 2's versioned
+/// re-instantiation (core/algo2) replaces it wholesale.
+class AtState {
+ public:
+  AtState() = default;
+
+  /// n accounts with the given balances; μ(a_i) = {p_i} (unshared).
+  explicit AtState(std::vector<Amount> balances);
+
+  /// Explicit owner sets: `owners[a]` lists μ(a).
+  AtState(std::vector<Amount> balances,
+          std::vector<std::vector<ProcessId>> owners);
+
+  std::size_t num_accounts() const noexcept { return balances_.size(); }
+
+  Amount balance(AccountId a) const { return balances_.at(a); }
+  void set_balance(AccountId a, Amount v) { balances_.at(a) = v; }
+
+  /// True iff p ∈ μ(a).
+  bool is_owner(AccountId a, ProcessId p) const;
+
+  const std::vector<ProcessId>& owners(AccountId a) const {
+    return owners_.at(a);
+  }
+
+  /// Replaces μ(a) (used by Algorithm 2's "new k-AT instance" step; not a
+  /// Δ-transition of Definition 1).
+  void set_owners(AccountId a, std::vector<ProcessId> ps);
+
+  /// k = max_a |μ(a)| — the object's sharing degree.
+  std::size_t sharing_degree() const noexcept;
+
+  Amount total() const noexcept;
+  std::size_t hash() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const AtState&, const AtState&) = default;
+
+ private:
+  std::vector<Amount> balances_;
+  std::vector<std::vector<ProcessId>> owners_;  // sorted ascending
+};
+
+/// Operation alphabet of Definition 1.
+struct AtOp {
+  enum class Kind : std::uint8_t { kTransfer, kBalanceOf };
+
+  Kind kind = Kind::kBalanceOf;
+  AccountId src = kNoAccount;
+  AccountId dst = kNoAccount;
+  Amount value = 0;
+
+  static AtOp transfer(AccountId src, AccountId dst, Amount v);
+  static AtOp balance_of(AccountId a);
+
+  bool is_read_only() const noexcept { return kind == Kind::kBalanceOf; }
+  std::string to_string() const;
+
+  friend bool operator==(const AtOp&, const AtOp&) = default;
+};
+
+/// Sequential specification of Definition 1:
+///   transfer(a_s, a_d, v) by p succeeds iff p ∈ μ(a_s) ∧ β(a_s) ≥ v.
+struct AtSpec {
+  using State = AtState;
+  using Op = AtOp;
+
+  static Applied<AtState> apply(const AtState& q, ProcessId caller,
+                                const AtOp& op);
+};
+
+/// Ready-to-use stateful asset-transfer object (a k-AT when the owner map
+/// shares accounts among up to k processes).
+using AssetTransfer = SeqObject<AtSpec>;
+
+}  // namespace tokensync

@@ -1,0 +1,25 @@
+#include "objects/consensus.h"
+
+#include <sstream>
+
+namespace tokensync {
+
+std::string ConsensusOp::to_string() const {
+  std::ostringstream os;
+  os << "propose(" << proposal << ")";
+  return os.str();
+}
+
+Applied<ConsensusState> ConsensusSpec::apply(const ConsensusState& q,
+                                             ProcessId /*caller*/,
+                                             const ConsensusOp& op) {
+  if (q.decided) {
+    return {Response::number(q.value), q};
+  }
+  ConsensusState next;
+  next.decided = true;
+  next.value = op.proposal;
+  return {Response::number(next.value), next};
+}
+
+}  // namespace tokensync

@@ -1,0 +1,54 @@
+// Single-shot consensus object (Sec. 3.1).
+//
+// propose(v): the first proposal ever applied becomes the decided value;
+// every propose (including later ones) returns that decided value.  This is
+// the "compare-and-swap"-style sequential specification of consensus; it is
+// the target object of Theorem 2's reduction and a universal base object
+// (Herlihy).  Used directly by the dyntoken substrate as the abstract slot
+// decider, and by tests as the reference object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Consensus state: undecided, or decided with a value.
+struct ConsensusState {
+  bool decided = false;
+  Amount value = 0;
+
+  std::size_t hash() const noexcept {
+    return decided ? static_cast<std::size_t>(value) * 2654435761u + 1 : 0;
+  }
+  friend bool operator==(const ConsensusState&,
+                         const ConsensusState&) = default;
+};
+
+/// The single operation propose(v).
+struct ConsensusOp {
+  Amount proposal = 0;
+
+  static ConsensusOp propose(Amount v) { return ConsensusOp{v}; }
+  bool is_read_only() const noexcept { return false; }
+  std::string to_string() const;
+
+  friend bool operator==(const ConsensusOp&, const ConsensusOp&) = default;
+};
+
+/// Sequential specification: first proposal wins, everyone learns it.
+struct ConsensusSpec {
+  using State = ConsensusState;
+  using Op = ConsensusOp;
+
+  static Applied<ConsensusState> apply(const ConsensusState& q,
+                                       ProcessId caller,
+                                       const ConsensusOp& op);
+};
+
+using ConsensusObject = SeqObject<ConsensusSpec>;
+
+}  // namespace tokensync

@@ -1,0 +1,124 @@
+// ERC20 token object — Definition 3 of the paper, whose sequential
+// specification coincides with Algorithm 3 (the EIP-20 pseudocode,
+// Appendix A).
+//
+// State:      q = (β, α) with balances β: A → ℕ and allowances
+//             α: A × Π → ℕ.
+// Operations: transfer(a_d, v), transferFrom(a_s, a_d, v), approve(p, v),
+//             balanceOf(a), allowance(a, p), totalSupply().
+//
+// The semantics implemented here follow Δ of Definition 3 exactly:
+//   * transfer debits the *caller's* account a_p (ω is the identity map,
+//     see common/ids.h) and returns FALSE, leaving q unchanged, iff
+//     β(a_p) < v;
+//   * transferFrom(a_s, a_d, v) by p requires both β(a_s) ≥ v and
+//     α(a_s, p) ≥ v, debiting both on success;
+//   * approve(p̄, v) *sets* α(a_caller, p̄) = v (it does not add) and always
+//     returns TRUE;
+//   * reads leave the state unchanged; totalSupply returns Σ_a β(a).
+//
+// Self-transfers (a_d = source) are valid and leave the balance unchanged
+// (debit-then-credit), matching both the relational spec and EIP-20.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Value-semantic token state q = (β, α).
+class Erc20State {
+ public:
+  Erc20State() = default;
+
+  /// Standard-initial state (Algorithm 3): `deployer` holds `total_supply`,
+  /// every other balance and every allowance is 0.  This is the paper's q0,
+  /// which lies in Q1 (consensus number 1).
+  Erc20State(std::size_t n, ProcessId deployer, Amount total_supply);
+
+  /// Fully explicit state; `allowances[a][p]` is α(a, p).
+  Erc20State(std::vector<Amount> balances,
+             std::vector<std::vector<Amount>> allowances);
+
+  std::size_t num_accounts() const noexcept { return balances_.size(); }
+
+  Amount balance(AccountId a) const { return balances_.at(a); }
+  Amount allowance(AccountId a, ProcessId p) const {
+    return allowances_.at(a).at(p);
+  }
+
+  /// Σ_a β(a) — conserved by every valid transition.
+  Amount total_supply() const noexcept;
+
+  /// Mutators used only by the specification (and by test fixtures that
+  /// construct specific states q ∈ S_k / Q_k).
+  void set_balance(AccountId a, Amount v) { balances_.at(a) = v; }
+  void set_allowance(AccountId a, ProcessId p, Amount v) {
+    allowances_.at(a).at(p) = v;
+  }
+
+  /// Stable fingerprint for model-checking memoization.
+  std::size_t hash() const noexcept;
+
+  /// Human-readable rendering "β=[..] α=[..]" used by examples and the
+  /// Figure-1 diagram printer.
+  std::string to_string() const;
+
+  friend bool operator==(const Erc20State&, const Erc20State&) = default;
+
+ private:
+  std::vector<Amount> balances_;                // β, indexed by account
+  std::vector<std::vector<Amount>> allowances_; // α, [account][process]
+};
+
+/// Operation alphabet O of Definition 3.
+struct Erc20Op {
+  enum class Kind : std::uint8_t {
+    kTransfer,       // transfer(a_d, v)         — caller's account is source
+    kTransferFrom,   // transferFrom(a_s, a_d, v)
+    kApprove,        // approve(p, v)            — caller's account is target
+    kBalanceOf,      // balanceOf(a)
+    kAllowance,      // allowance(a, p)
+    kTotalSupply,    // totalSupply()
+  };
+
+  Kind kind = Kind::kTotalSupply;
+  AccountId src = kNoAccount;  // a_s for transferFrom; read target otherwise
+  AccountId dst = kNoAccount;  // a_d
+  ProcessId spender = kNoProcess;
+  Amount value = 0;
+
+  static Erc20Op transfer(AccountId dst, Amount v);
+  static Erc20Op transfer_from(AccountId src, AccountId dst, Amount v);
+  static Erc20Op approve(ProcessId spender, Amount v);
+  static Erc20Op balance_of(AccountId a);
+  static Erc20Op allowance(AccountId a, ProcessId p);
+  static Erc20Op total_supply();
+
+  /// True for operations whose Δ-transitions always satisfy q' = q.
+  bool is_read_only() const noexcept;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Erc20Op&, const Erc20Op&) = default;
+};
+
+/// The sequential specification (pure).  Plugs into SeqObject, the sim
+/// scheduler, the model checker and the linearizability oracle.
+struct Erc20Spec {
+  using State = Erc20State;
+  using Op = Erc20Op;
+
+  /// One Δ-transition: returns (r, q') for (q, caller, op).
+  static Applied<Erc20State> apply(const Erc20State& q, ProcessId caller,
+                                   const Erc20Op& op);
+};
+
+/// Ready-to-use stateful ERC20 token object.
+using Erc20Token = SeqObject<Erc20Spec>;
+
+}  // namespace tokensync

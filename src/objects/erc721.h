@@ -1,0 +1,106 @@
+// ERC721 non-fungible token object (paper Sec. 6, EIP-721).
+//
+// Every token is unique, identified by a TokenId, and owned by one account.
+// Two approval mechanisms exist, both modeled here:
+//   * approve(p, tokenId)       — one approved spender per token;
+//   * setApprovalForAll(p, ok)  — p becomes an *operator* for every token
+//                                 of the caller.
+// transferFrom(a_s, a_d, tokenId) by p succeeds iff a_s currently owns
+// tokenId and p is the owner process, the token's approved spender, or an
+// operator for a_s.  A successful transfer clears the per-token approval
+// (as EIP-721 mandates).
+//
+// The paper adapts Algorithm 1 to ERC721 by racing on a single tokenId that
+// all participants may spend, deciding via ownerOf (see
+// core/erc721_consensus.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+using TokenId = std::uint32_t;
+
+/// Value-semantic ERC721 state.
+class Erc721State {
+ public:
+  Erc721State() = default;
+
+  /// `owner_of[t]` is the account initially owning token t; `n` accounts.
+  Erc721State(std::size_t n, std::vector<AccountId> owner_of);
+
+  std::size_t num_accounts() const noexcept { return num_accounts_; }
+  std::size_t num_tokens() const noexcept { return owner_of_.size(); }
+
+  AccountId owner_of(TokenId t) const { return owner_of_.at(t); }
+  ProcessId approved(TokenId t) const { return approved_.at(t); }
+  bool is_operator(AccountId holder, ProcessId p) const {
+    return operators_.at(holder).at(p);
+  }
+
+  void set_owner(TokenId t, AccountId a) { owner_of_.at(t) = a; }
+  void set_approved(TokenId t, ProcessId p) { approved_.at(t) = p; }
+  void set_operator(AccountId holder, ProcessId p, bool ok) {
+    operators_.at(holder).at(p) = ok ? 1 : 0;
+  }
+
+  std::size_t hash() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const Erc721State&, const Erc721State&) = default;
+
+ private:
+  std::size_t num_accounts_ = 0;
+  std::vector<AccountId> owner_of_;       // token -> owning account
+  std::vector<ProcessId> approved_;       // token -> approved spender
+  std::vector<std::vector<std::uint8_t>> operators_;  // [holder][process]
+};
+
+/// ERC721 operation alphabet (the subset relevant to the paper's analysis).
+struct Erc721Op {
+  enum class Kind : std::uint8_t {
+    kTransferFrom,       // transferFrom(a_s, a_d, tokenId)
+    kApprove,            // approve(p, tokenId)
+    kSetApprovalForAll,  // setApprovalForAll(p, approved)
+    kOwnerOf,            // ownerOf(tokenId)
+    kGetApproved,        // getApproved(tokenId)
+    kIsApprovedForAll,   // isApprovedForAll(holder, p)
+  };
+
+  Kind kind = Kind::kOwnerOf;
+  AccountId src = kNoAccount;
+  AccountId dst = kNoAccount;
+  ProcessId spender = kNoProcess;
+  TokenId token = 0;
+  bool flag = false;
+
+  static Erc721Op transfer_from(AccountId src, AccountId dst, TokenId t);
+  static Erc721Op approve(ProcessId spender, TokenId t);
+  static Erc721Op set_approval_for_all(ProcessId op, bool approved);
+  static Erc721Op owner_of(TokenId t);
+  static Erc721Op get_approved(TokenId t);
+  static Erc721Op is_approved_for_all(AccountId holder, ProcessId p);
+
+  bool is_read_only() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const Erc721Op&, const Erc721Op&) = default;
+};
+
+/// Sequential specification of the EIP-721 semantics above.
+struct Erc721Spec {
+  using State = Erc721State;
+  using Op = Erc721Op;
+
+  static Applied<Erc721State> apply(const Erc721State& q, ProcessId caller,
+                                    const Erc721Op& op);
+};
+
+using Erc721Token = SeqObject<Erc721Spec>;
+
+}  // namespace tokensync

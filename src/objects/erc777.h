@@ -1,0 +1,95 @@
+// ERC777 token object (paper Sec. 6, EIP-777).
+//
+// ERC777 keeps fungible balances but replaces ERC20's bounded allowances
+// with *operators*: authorizeOperator(p) lets p spend the caller's entire
+// balance via operatorSend, until revokeOperator(p).  The paper notes that
+// Algorithms 1 and 2 adapt by "replacing the approved spenders with the
+// corresponding operators"; since there is no per-spender allowance to
+// scan, the winner of the consensus race is detected through distinct
+// destination accounts instead (see core/erc777_consensus.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Value-semantic ERC777 state: balances + operator matrix.
+class Erc777State {
+ public:
+  Erc777State() = default;
+
+  /// Standard-initial state: deployer holds the supply, no operators.
+  Erc777State(std::size_t n, ProcessId deployer, Amount total_supply);
+
+  std::size_t num_accounts() const noexcept { return balances_.size(); }
+
+  Amount balance(AccountId a) const { return balances_.at(a); }
+  bool is_operator(AccountId holder, ProcessId p) const {
+    return operators_.at(holder).at(p);
+  }
+
+  void set_balance(AccountId a, Amount v) { balances_.at(a) = v; }
+  void set_operator(AccountId holder, ProcessId p, bool ok) {
+    operators_.at(holder).at(p) = ok ? 1 : 0;
+  }
+
+  Amount total_supply() const noexcept;
+  std::size_t hash() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const Erc777State&, const Erc777State&) = default;
+
+ private:
+  std::vector<Amount> balances_;
+  std::vector<std::vector<std::uint8_t>> operators_;  // [holder][process]
+};
+
+/// ERC777 operation alphabet (subset relevant to the paper).
+struct Erc777Op {
+  enum class Kind : std::uint8_t {
+    kSend,               // send(a_d, v) from caller's account
+    kOperatorSend,       // operatorSend(a_s, a_d, v)
+    kAuthorizeOperator,  // authorizeOperator(p)
+    kRevokeOperator,     // revokeOperator(p)
+    kBalanceOf,          // balanceOf(a)
+    kIsOperatorFor,      // isOperatorFor(p, holder)
+  };
+
+  Kind kind = Kind::kBalanceOf;
+  AccountId src = kNoAccount;
+  AccountId dst = kNoAccount;
+  ProcessId op_process = kNoProcess;
+  Amount value = 0;
+
+  static Erc777Op send(AccountId dst, Amount v);
+  static Erc777Op operator_send(AccountId src, AccountId dst, Amount v);
+  static Erc777Op authorize_operator(ProcessId p);
+  static Erc777Op revoke_operator(ProcessId p);
+  static Erc777Op balance_of(AccountId a);
+  static Erc777Op is_operator_for(ProcessId p, AccountId holder);
+
+  bool is_read_only() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const Erc777Op&, const Erc777Op&) = default;
+};
+
+/// Sequential specification:
+///   operatorSend(a_s, a_d, v) by p succeeds iff p is the holder's owner or
+///   an authorized operator for a_s, and β(a_s) ≥ v.
+struct Erc777Spec {
+  using State = Erc777State;
+  using Op = Erc777Op;
+
+  static Applied<Erc777State> apply(const Erc777State& q, ProcessId caller,
+                                    const Erc777Op& op);
+};
+
+using Erc777Token = SeqObject<Erc777Spec>;
+
+}  // namespace tokensync

@@ -1,0 +1,71 @@
+// Sequential-object framework.
+//
+// The paper (Sec. 3.1) defines an object type as T = (Q, q0, O, R, Δ) with
+// Δ ⊆ Q × Π × O × Q × R.  We realize this in *state-passing* style: each
+// concrete object supplies a value-semantic State plus a pure
+//
+//     apply(State, ProcessId caller, Op) -> (Response, State)
+//
+// The same specification then backs
+//   * the stateful single-threaded wrapper (SeqObject),
+//   * the step-granular simulated substrate (src/sched),
+//   * the exhaustive model checker (src/modelcheck), and
+//   * the linearizability checker's oracle (src/lin).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// Response domain R = {TRUE, FALSE} ∪ ℕ of Definitions 1 and 3.
+/// Reads return Value, updates return Bool.
+struct Response {
+  enum class Kind : std::uint8_t { kBool, kValue };
+
+  Kind kind = Kind::kBool;
+  bool ok = false;    ///< meaningful when kind == kBool
+  Amount value = 0;   ///< meaningful when kind == kValue
+
+  static Response boolean(bool b) { return Response{Kind::kBool, b, 0}; }
+  static Response number(Amount v) { return Response{Kind::kValue, false, v}; }
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// Convenience result pair returned by `apply` functions.
+template <typename State>
+struct Applied {
+  Response response;
+  State state;
+};
+
+/// Stateful wrapper turning a pure specification into an invocable object.
+///
+/// `Spec` must provide:  `using State`, `using Op`, and
+/// `static Applied<State> apply(const State&, ProcessId, const Op&)`.
+template <typename Spec>
+class SeqObject {
+ public:
+  using State = typename Spec::State;
+  using Op = typename Spec::Op;
+
+  explicit SeqObject(State initial) : state_(std::move(initial)) {}
+
+  /// Invokes `op` on behalf of `caller`; atomically advances the state.
+  Response invoke(ProcessId caller, const Op& op) {
+    auto [resp, next] = Spec::apply(state_, caller, op);
+    state_ = std::move(next);
+    return resp;
+  }
+
+  const State& state() const noexcept { return state_; }
+  void reset(State s) { state_ = std::move(s); }
+
+ private:
+  State state_;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,63 @@
+// State-restricted object T|_{Q'} (paper Sec. 4, "Further notation").
+//
+// T|_{Q'} = (Q', q0, O, R, Δ') with Δ' = {(q,p,o,r,q') ∈ Δ : q' ∈ Q'}:
+// transitions that would leave Q' are simply absent from Δ'.  To keep the
+// object total (every invocation returns), an operation whose successful
+// transition would exit Q' instead returns FALSE and leaves the state
+// unchanged — exactly the behavior of Algorithm 2's guarded approve
+// (lines 17–18).
+#pragma once
+
+#include "common/error.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Wraps a specification `Spec` with a membership predicate for Q'.
+///
+/// `Pred` is a copyable callable `bool(const Spec::State&)`.  The predicate
+/// must accept the initial state (q0 ∈ Q').
+template <typename Spec, typename Pred>
+struct RestrictedSpec {
+  using State = typename Spec::State;
+  using Op = typename Spec::Op;
+
+  /// The predicate is stored statically per instantiation via this holder;
+  /// see RestrictedObject below for the stateful, per-instance variant.
+  struct Config {
+    Pred in_q_prime;
+  };
+};
+
+/// Stateful restricted object: like SeqObject<Spec>, but any transition
+/// whose target state violates the predicate is refused with FALSE.
+template <typename Spec, typename Pred>
+class RestrictedObject {
+ public:
+  using State = typename Spec::State;
+  using Op = typename Spec::Op;
+
+  RestrictedObject(State initial, Pred in_q_prime)
+      : state_(std::move(initial)), in_q_prime_(std::move(in_q_prime)) {
+    TS_EXPECTS(in_q_prime_(state_));
+  }
+
+  /// Invokes `op`; if the Δ-transition would leave Q', returns FALSE and
+  /// leaves the state unchanged (the transition is not in Δ').
+  Response invoke(ProcessId caller, const Op& op) {
+    auto [resp, next] = Spec::apply(state_, caller, op);
+    if (!in_q_prime_(next)) {
+      return Response::boolean(false);
+    }
+    state_ = std::move(next);
+    return resp;
+  }
+
+  const State& state() const noexcept { return state_; }
+
+ private:
+  State state_;
+  Pred in_q_prime_;
+};
+
+}  // namespace tokensync

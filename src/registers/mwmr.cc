@@ -1,0 +1,69 @@
+#include "registers/mwmr.h"
+
+#include "common/error.h"
+
+namespace tokensync {
+
+MwmrSimulation::MwmrSimulation(std::vector<std::vector<ScriptOp>> scripts)
+    : scripts_(std::move(scripts)),
+      slots_(scripts_.size()),
+      locals_(scripts_.size()) {}
+
+bool MwmrSimulation::enabled(ProcessId p) const {
+  const Local& me = locals_.at(p);
+  return me.mid_op || me.script_pos < scripts_[p].size();
+}
+
+void MwmrSimulation::finish_op(ProcessId p, const Response& resp,
+                               const RegisterSpec::Op& op) {
+  Local& me = locals_[p];
+  HistoryOp<RegisterSpec> h;
+  h.caller = p;
+  h.op = op;
+  h.response = resp;
+  h.invoked = me.invoked_tick;
+  h.returned = tick_;
+  history_.push_back(h);
+  me.mid_op = false;
+  me.collect_pos = 0;
+  me.max_ts = 0;
+  me.max_wid = 0;
+  me.max_value = 0;
+  ++me.script_pos;
+}
+
+void MwmrSimulation::step(ProcessId p) {
+  TS_EXPECTS(enabled(p));
+  Local& me = locals_[p];
+  const ScriptOp& cur = scripts_[p][me.script_pos];
+  ++tick_;
+
+  if (!me.mid_op) {
+    me.mid_op = true;
+    me.invoked_tick = tick_;
+  }
+
+  if (me.collect_pos < slots_.size()) {
+    // Collect phase: read slot collect_pos (this step's atomic access).
+    const Slot& s = slots_[me.collect_pos];
+    if (s.ts > me.max_ts || (s.ts == me.max_ts && s.wid > me.max_wid)) {
+      me.max_ts = s.ts;
+      me.max_wid = s.wid;
+      me.max_value = s.value;
+    }
+    ++me.collect_pos;
+    // A read completes with its last collect step.
+    if (me.collect_pos == slots_.size() && !cur.is_write) {
+      finish_op(p, Response::number(me.max_value), RegisterSpec::Op::read());
+    }
+    return;
+  }
+
+  // Write phase (writers only): publish (max_ts + 1, p, v) in own slot.
+  TS_ASSERT(cur.is_write);
+  slots_[p] = Slot{me.max_ts + 1, p, cur.value};
+  finish_op(p, Response::boolean(true),
+            RegisterSpec::Op::write(cur.value));
+}
+
+}  // namespace tokensync

@@ -1,0 +1,103 @@
+// Multi-writer multi-reader atomic register construction.
+//
+// The paper's base objects are atomic registers (Sec. 3.1).  This module
+// builds an MWMR atomic register from single-writer slots via the classic
+// timestamp construction:
+//   write(v) by writer w: read all slots (one step each), pick
+//     ts = max+1, write (ts, w, v) into slot w (one step);
+//   read(): read all slots, return the value of the maximum (ts, w) pair.
+//
+// Every slot access is one atomic step of the simulated substrate, so
+// schedulers can interleave operations arbitrarily; the recorded
+// invocation/response history is then validated against the sequential
+// register specification with the Wing–Gong checker (tests).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "lin/history.h"
+#include "objects/object.h"
+
+namespace tokensync {
+
+/// Sequential specification of an atomic register holding an Amount
+/// (initial value 0) — the linearizability oracle.
+struct RegisterSpec {
+  struct State {
+    Amount value = 0;
+    std::size_t hash() const noexcept {
+      return static_cast<std::size_t>(value) * 0x9e3779b97f4a7c15ULL;
+    }
+    friend bool operator==(const State&, const State&) = default;
+  };
+  struct Op {
+    bool is_write = false;
+    Amount value = 0;
+    static Op read() { return {false, 0}; }
+    static Op write(Amount v) { return {true, v}; }
+  };
+
+  static Applied<State> apply(const State& q, ProcessId /*caller*/,
+                              const Op& op) {
+    if (op.is_write) return {Response::boolean(true), State{op.value}};
+    return {Response::number(q.value), q};
+  }
+};
+
+/// Step-granular simulation of the timestamp MWMR construction.
+///
+/// Each process repeatedly executes operations from its script (a list of
+/// writes/reads).  step(p) advances process p by ONE slot access; when an
+/// operation completes it is appended to the history with its invocation
+/// and response ticks.
+class MwmrSimulation {
+ public:
+  /// One scripted operation for a process.
+  struct ScriptOp {
+    bool is_write = false;
+    Amount value = 0;
+  };
+
+  /// `scripts[p]` is the operation list of process p.
+  explicit MwmrSimulation(std::vector<std::vector<ScriptOp>> scripts);
+
+  std::size_t num_processes() const noexcept { return scripts_.size(); }
+  bool enabled(ProcessId p) const;
+  void step(ProcessId p);
+
+  /// Completed operations with timestamps (ready for is_linearizable).
+  const History<RegisterSpec>& history() const noexcept { return history_; }
+
+ private:
+  struct Slot {
+    std::uint64_t ts = 0;
+    ProcessId wid = 0;
+    Amount value = 0;
+  };
+
+  struct Local {
+    std::size_t script_pos = 0;
+    // Per-operation progress.
+    bool mid_op = false;
+    std::size_t invoked_tick = 0;
+    std::size_t collect_pos = 0;        // next slot to read
+    std::uint64_t max_ts = 0;
+    ProcessId max_wid = 0;
+    Amount max_value = 0;
+  };
+
+  void finish_op(ProcessId p, const Response& resp,
+                 const RegisterSpec::Op& op);
+
+  std::vector<std::vector<ScriptOp>> scripts_;
+  std::vector<Slot> slots_;   // one single-writer slot per process
+  std::vector<Local> locals_;
+  History<RegisterSpec> history_;
+  std::size_t tick_ = 0;
+};
+
+}  // namespace tokensync

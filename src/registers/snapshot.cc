@@ -1,0 +1,163 @@
+#include "registers/snapshot.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace tokensync {
+
+SnapshotSimulation::SnapshotSimulation(
+    std::vector<std::vector<ScriptOp>> scripts)
+    : scripts_(std::move(scripts)),
+      comps_(scripts_.size()),
+      locals_(scripts_.size()) {
+  const std::size_t n = scripts_.size();
+  for (auto& c : comps_) {
+    c.embedded_seqs.assign(n, 0);
+    c.embedded_values.assign(n, 0);
+  }
+}
+
+bool SnapshotSimulation::enabled(ProcessId p) const {
+  const Local& me = locals_.at(p);
+  return me.mid_op || me.script_pos < scripts_[p].size();
+}
+
+void SnapshotSimulation::begin_collect(Local& me) {
+  const std::size_t n = comps_.size();
+  me.phase = 0;
+  me.pos = 0;
+  me.c1.assign(n, 0);
+  me.c2.assign(n, 0);
+  me.v1.assign(n, 0);
+  me.v2.assign(n, 0);
+  me.moved.assign(n, 0);
+}
+
+bool SnapshotSimulation::scan_step(ProcessId p,
+                                   std::vector<std::uint64_t>& out_seqs,
+                                   std::vector<Amount>& out_values) {
+  Local& me = locals_[p];
+  const std::size_t n = comps_.size();
+
+  // One atomic read of component `pos` in the current collect.
+  const Component& c = comps_[me.pos];
+  if (me.phase == 0) {
+    me.c1[me.pos] = c.seq;
+    me.v1[me.pos] = c.value;
+    ++me.pos;
+    if (me.pos == n) {
+      me.phase = 1;
+      me.pos = 0;
+    }
+    return false;
+  }
+
+  // Second collect: detect movers relative to the first collect.
+  if (c.seq != me.c1[me.pos]) {
+    // A component that moved in TWO double-collect rounds has completed an
+    // entire update within our interval: its embedded scan (read in this
+    // same atomic step, together with seq) is a valid snapshot to borrow.
+    if (++me.moved[me.pos] >= 2) {
+      out_seqs = c.embedded_seqs;
+      out_values = c.embedded_values;
+      return true;
+    }
+    // Restart the whole double collect (a clean snapshot needs two full,
+    // equal passes so that all values coexist at the pass boundary).
+    me.phase = 0;
+    me.pos = 0;
+    return false;
+  }
+  me.c2[me.pos] = c.seq;
+  me.v2[me.pos] = c.value;
+  ++me.pos;
+  if (me.pos < n) return false;
+
+  // Double collect finished with every component unchanged: clean scan.
+  out_seqs = me.c2;
+  out_values = me.v2;
+  return true;
+}
+
+void SnapshotSimulation::step(ProcessId p) {
+  TS_EXPECTS(enabled(p));
+  Local& me = locals_[p];
+  const ScriptOp& cur = scripts_[p][me.script_pos];
+  ++tick_;
+
+  if (!me.mid_op) {
+    me.mid_op = true;
+    me.invoked_tick = tick_;
+    begin_collect(me);
+  }
+
+  std::vector<std::uint64_t> seqs;
+  std::vector<Amount> values;
+  if (!scan_step(p, seqs, values)) return;
+
+  if (!cur.is_update) {
+    scans_.push_back(ScanRecord{p, seqs, values, me.invoked_tick, tick_});
+    me.mid_op = false;
+    ++me.script_pos;
+    return;
+  }
+
+  // Update: embedded scan finished — publish (v, seq+1, embedded scan) as
+  // one atomic write of the component.
+  Component& mine = comps_[p];
+  mine.value = cur.value;
+  mine.seq += 1;
+  mine.embedded_seqs = seqs;
+  mine.embedded_values = values;
+  updates_.push_back(
+      UpdateRecord{p, mine.seq, cur.value, me.invoked_tick, tick_});
+  me.mid_op = false;
+  ++me.script_pos;
+}
+
+std::optional<std::string> check_snapshot_properties(
+    const SnapshotSimulation& sim) {
+  const auto& scans = sim.scans();
+  const auto& updates = sim.updates();
+
+  // (1) Comparability: seq vectors pairwise ordered componentwise.
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    for (std::size_t j = i + 1; j < scans.size(); ++j) {
+      bool le = true, ge = true;
+      for (std::size_t c = 0; c < scans[i].seqs.size(); ++c) {
+        if (scans[i].seqs[c] > scans[j].seqs[c]) le = false;
+        if (scans[i].seqs[c] < scans[j].seqs[c]) ge = false;
+      }
+      if (!le && !ge) {
+        std::ostringstream os;
+        os << "scans " << i << " and " << j << " are incomparable";
+        return os.str();
+      }
+    }
+  }
+
+  // (2) Regularity w.r.t. real time.
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    for (const auto& u : updates) {
+      if (u.returned < scans[s].invoked &&
+          scans[s].seqs[u.writer] < u.seq) {
+        std::ostringstream os;
+        os << "scan " << s << " misses update seq " << u.seq << " of p"
+           << u.writer << " completed before it";
+        return os.str();
+      }
+      if (u.invoked > scans[s].returned &&
+          scans[s].seqs[u.writer] >= u.seq) {
+        std::ostringstream os;
+        os << "scan " << s << " includes update seq " << u.seq << " of p"
+           << u.writer << " invoked after it returned";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tokensync

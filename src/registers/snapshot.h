@@ -1,0 +1,111 @@
+// Wait-free atomic snapshot (Afek et al., JACM'93) — single-writer
+// variant, step-granular.
+//
+// n components, one writer each.  update(v) performs an embedded scan and
+// then writes (v, seq+1, embedded_scan) to its component.  scan() performs
+// repeated double collects: equal collects are a clean snapshot; a
+// component observed to change TWICE must have completed an entire update
+// within the scan's interval, so its embedded scan is a valid result
+// (borrowed scan).  Total slot accesses per scan are bounded by
+// O(n^2) — wait-free.
+//
+// Atomic snapshots are the workhorse register-level construction in the
+// wait-free literature the paper builds on; tests validate the standard
+// correctness properties (scans are comparable; every scan contains all
+// updates completed before it and none invoked after it).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// Step-granular simulation of the snapshot object under test scripts.
+class SnapshotSimulation {
+ public:
+  /// A completed scan with its interval, for property checking.
+  struct ScanRecord {
+    ProcessId scanner = 0;
+    std::vector<std::uint64_t> seqs;   // per-component sequence numbers
+    std::vector<Amount> values;
+    std::size_t invoked = 0;
+    std::size_t returned = 0;
+  };
+
+  /// A completed update with its interval.
+  struct UpdateRecord {
+    ProcessId writer = 0;
+    std::uint64_t seq = 0;
+    Amount value = 0;
+    std::size_t invoked = 0;
+    std::size_t returned = 0;
+  };
+
+  /// One scripted operation: update(value) or scan.
+  struct ScriptOp {
+    bool is_update = false;
+    Amount value = 0;
+  };
+
+  explicit SnapshotSimulation(std::vector<std::vector<ScriptOp>> scripts);
+
+  std::size_t num_processes() const noexcept { return scripts_.size(); }
+  bool enabled(ProcessId p) const;
+  void step(ProcessId p);
+
+  const std::vector<ScanRecord>& scans() const noexcept { return scans_; }
+  const std::vector<UpdateRecord>& updates() const noexcept {
+    return updates_;
+  }
+
+ private:
+  struct Component {
+    Amount value = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> embedded_seqs;
+    std::vector<Amount> embedded_values;
+  };
+
+  struct Local {
+    std::size_t script_pos = 0;
+    bool mid_op = false;
+    std::size_t invoked_tick = 0;
+    // Scan machinery (also used for the embedded scan inside update).
+    int phase = 0;          // 0: first collect, 1: second collect
+    std::size_t pos = 0;    // next component to read
+    std::vector<std::uint64_t> c1, c2;
+    std::vector<Amount> v1, v2;
+    // Per-component moves observed across double-collect rounds of the
+    // current operation; two moves allow borrowing the embedded scan.
+    std::vector<int> moved;
+  };
+
+  void begin_collect(Local& me);
+  /// Runs one slot-read step of the scan; returns the completed scan
+  /// (seqs, values) when done.
+  bool scan_step(ProcessId p, std::vector<std::uint64_t>& out_seqs,
+                 std::vector<Amount>& out_values);
+
+  std::vector<std::vector<ScriptOp>> scripts_;
+  std::vector<Component> comps_;
+  std::vector<Local> locals_;
+  std::vector<ScanRecord> scans_;
+  std::vector<UpdateRecord> updates_;
+  std::size_t tick_ = 0;
+};
+
+/// Validates the snapshot correctness properties over the recorded runs:
+///  (1) comparability — the seq vectors of any two scans are ordered
+///      componentwise (scans form a chain);
+///  (2) regularity — every scan includes each writer's updates completed
+///      before the scan's invocation and excludes updates invoked after
+///      its return.
+/// Returns an explanation for the first violation, or nullopt if OK.
+std::optional<std::string> check_snapshot_properties(
+    const SnapshotSimulation& sim);
+
+}  // namespace tokensync

@@ -1,0 +1,45 @@
+// Step-granular protocol model for the asynchronous shared-memory
+// substrate (paper Sec. 3.1).
+//
+// A protocol configuration bundles the shared base objects (token object,
+// atomic registers) and every process's local state.  One call to
+// `step(p)` performs exactly ONE atomic base-object operation on behalf of
+// process p — the granularity at which the paper's model (and Herlihy's
+// valence argument) interleaves processes.  Schedulers (sched/scheduler.h)
+// and the exhaustive explorer (modelcheck/explorer.h) are generic over any
+// type satisfying this concept.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// A process's decision: either a proposed value, or "⊥" when a protocol
+/// bug makes a process return an unwritten register (validity violation —
+/// exactly what experiment E4 exhibits).
+struct Decision {
+  bool bottom = false;
+  Amount value = 0;
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+/// Concept every explorable protocol configuration satisfies.
+template <typename C>
+concept ProtocolConfig = std::copyable<C> && requires(C c, const C cc,
+                                                      ProcessId p) {
+  { cc.num_processes() } -> std::convertible_to<std::size_t>;
+  { cc.enabled(p) } -> std::convertible_to<bool>;
+  { c.step(p) };
+  { cc.decision(p) } -> std::convertible_to<std::optional<Decision>>;
+  { cc.hash() } -> std::convertible_to<std::size_t>;
+  { cc.next_op_name(p) } -> std::convertible_to<std::string>;
+  { cc == cc } -> std::convertible_to<bool>;
+};
+
+}  // namespace tokensync

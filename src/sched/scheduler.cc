@@ -1,0 +1,55 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tokensync {
+
+ConsensusVerdict check_consensus_run(
+    const std::vector<std::optional<Decision>>& decisions,
+    const std::vector<Amount>& proposals,
+    const std::vector<std::size_t>& crash_budgets) {
+  ConsensusVerdict v;
+  std::optional<Decision> first;
+  for (ProcessId p = 0; p < decisions.size(); ++p) {
+    const bool correct =
+        crash_budgets.empty() || crash_budgets[p] == kNeverCrash;
+    const auto& d = decisions[p];
+    if (!d) {
+      if (correct) {
+        v.termination = false;
+        std::ostringstream os;
+        os << "correct process p" << p << " never decided";
+        v.detail = os.str();
+      }
+      continue;
+    }
+    // Validity: decided value is some process's proposal; ⊥ never is.
+    if (d->bottom ||
+        std::find(proposals.begin(), proposals.end(), d->value) ==
+            proposals.end()) {
+      v.validity = false;
+      std::ostringstream os;
+      os << "p" << p << " decided "
+         << (d->bottom ? std::string("bottom") : std::to_string(d->value))
+         << " which no process proposed";
+      v.detail = os.str();
+    }
+    // Agreement: all decided values equal.
+    if (!first) {
+      first = d;
+    } else if (!(*first == *d)) {
+      v.agreement = false;
+      std::ostringstream os;
+      os << "decisions differ: "
+         << (first->bottom ? std::string("bottom")
+                           : std::to_string(first->value))
+         << " vs "
+         << (d->bottom ? std::string("bottom") : std::to_string(d->value));
+      v.detail = os.str();
+    }
+  }
+  return v;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,172 @@
+// Schedulers for step-granular protocols: round-robin, seeded-random with
+// crash injection, and fully adversarial (callback-driven).
+//
+// Crash-failure model (paper Sec. 3.1): a crashed process simply ceases to
+// take steps.  A crash plan assigns each process a step budget; exhausting
+// it is a crash.  `kNeverCrash` marks correct processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+inline constexpr std::size_t kNeverCrash =
+    std::numeric_limits<std::size_t>::max();
+
+/// Outcome of driving one protocol run to quiescence.
+struct RunResult {
+  /// Per-process decision; nullopt iff the process crashed (or was starved
+  /// by the step limit) before deciding.
+  std::vector<std::optional<Decision>> decisions;
+  /// Steps each process actually took.
+  std::vector<std::size_t> steps_taken;
+  /// True iff every process that kept its full budget decided.
+  bool all_correct_decided = false;
+  /// Total scheduler steps.
+  std::size_t total_steps = 0;
+};
+
+/// Consensus-property verdicts over a set of runs (paper Sec. 3.1:
+/// termination/wait-freedom, validity, consistency/agreement).
+struct ConsensusVerdict {
+  bool agreement = true;
+  bool validity = true;
+  bool termination = true;
+  /// First violation found, for diagnostics.
+  std::string detail;
+};
+
+/// Checks a finished run against the consensus specification.
+/// `proposals[p]` is what process p proposed.
+ConsensusVerdict check_consensus_run(
+    const std::vector<std::optional<Decision>>& decisions,
+    const std::vector<Amount>& proposals,
+    const std::vector<std::size_t>& crash_budgets);
+
+/// Drives `cfg` with a fixed round-robin order until no process is enabled
+/// or `max_steps` is hit.  Deterministic; good for smoke tests.
+template <ProtocolConfig C>
+RunResult run_round_robin(C& cfg, std::size_t max_steps = 1u << 20) {
+  const std::size_t n = cfg.num_processes();
+  RunResult r;
+  r.steps_taken.assign(n, 0);
+  bool progressed = true;
+  while (progressed && r.total_steps < max_steps) {
+    progressed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!cfg.enabled(p)) continue;
+      cfg.step(p);
+      ++r.steps_taken[p];
+      ++r.total_steps;
+      progressed = true;
+    }
+  }
+  r.decisions.resize(n);
+  r.all_correct_decided = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    r.decisions[p] = cfg.decision(p);
+    if (!r.decisions[p]) r.all_correct_decided = false;
+  }
+  return r;
+}
+
+/// Drives `cfg` with a uniformly random schedule; process p crashes (stops
+/// being scheduled) after `crash_budgets[p]` own-steps.
+template <ProtocolConfig C>
+RunResult run_random(C& cfg, Rng& rng, std::vector<std::size_t> crash_budgets,
+                     std::size_t max_steps = 1u << 20) {
+  const std::size_t n = cfg.num_processes();
+  if (crash_budgets.empty()) crash_budgets.assign(n, kNeverCrash);
+  RunResult r;
+  r.steps_taken.assign(n, 0);
+  std::vector<ProcessId> runnable;
+  while (r.total_steps < max_steps) {
+    runnable.clear();
+    for (ProcessId p = 0; p < n; ++p) {
+      if (cfg.enabled(p) && r.steps_taken[p] < crash_budgets[p]) {
+        runnable.push_back(p);
+      }
+    }
+    if (runnable.empty()) break;
+    const ProcessId p =
+        runnable[static_cast<std::size_t>(rng.below(runnable.size()))];
+    cfg.step(p);
+    ++r.steps_taken[p];
+    ++r.total_steps;
+  }
+  r.decisions.resize(n);
+  r.all_correct_decided = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    r.decisions[p] = cfg.decision(p);
+    if (crash_budgets[p] == kNeverCrash && !r.decisions[p]) {
+      r.all_correct_decided = false;
+    }
+  }
+  return r;
+}
+
+/// Fully adversarial schedule: `pick` receives the config and the runnable
+/// set and returns the process to step next.
+template <ProtocolConfig C>
+RunResult run_adversarial(
+    C& cfg,
+    const std::function<ProcessId(const C&, const std::vector<ProcessId>&)>&
+        pick,
+    std::size_t max_steps = 1u << 20) {
+  const std::size_t n = cfg.num_processes();
+  RunResult r;
+  r.steps_taken.assign(n, 0);
+  std::vector<ProcessId> runnable;
+  while (r.total_steps < max_steps) {
+    runnable.clear();
+    for (ProcessId p = 0; p < n; ++p) {
+      if (cfg.enabled(p)) runnable.push_back(p);
+    }
+    if (runnable.empty()) break;
+    const ProcessId p = pick(cfg, runnable);
+    cfg.step(p);
+    ++r.steps_taken[p];
+    ++r.total_steps;
+  }
+  r.decisions.resize(n);
+  r.all_correct_decided = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    r.decisions[p] = cfg.decision(p);
+    if (!r.decisions[p]) r.all_correct_decided = false;
+  }
+  return r;
+}
+
+/// Replays an explicit schedule (sequence of process ids); ignores entries
+/// whose process is not enabled.  Used to reproduce counterexamples found
+/// by the explorer.
+template <ProtocolConfig C>
+RunResult run_schedule(C& cfg, const std::vector<ProcessId>& schedule) {
+  const std::size_t n = cfg.num_processes();
+  RunResult r;
+  r.steps_taken.assign(n, 0);
+  for (ProcessId p : schedule) {
+    if (!cfg.enabled(p)) continue;
+    cfg.step(p);
+    ++r.steps_taken[p];
+    ++r.total_steps;
+  }
+  r.decisions.resize(n);
+  r.all_correct_decided = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    r.decisions[p] = cfg.decision(p);
+    if (!r.decisions[p]) r.all_correct_decided = false;
+  }
+  return r;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,187 @@
+// Experiments E2 and E4: Algorithm 1 (Theorem 2's constructive lower
+// bound) — exhaustive model checking for small k, randomized sweeps with
+// crash injection for larger k, and the failure beyond k (Theorem 3's
+// behavioral witness).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algo1.h"
+#include "core/state_class.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(100 + i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// E2 — exhaustive verification for k = 1, 2, 3 (every interleaving, with
+// solo-run wait-freedom checks from every reachable configuration; crash
+// scenarios are covered by invariant-style agreement checking).
+// ---------------------------------------------------------------------------
+TEST(Algo1Exhaustive, K1AllSchedules) {
+  const Algo1Config cfg = make_algo1(/*n=*/3, /*k=*/1, /*balance=*/10);
+  const auto res = explore_all(cfg, proposals_for(1), cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+  EXPECT_GT(res.configs_explored, 1u);
+}
+
+TEST(Algo1Exhaustive, K2AllSchedules) {
+  const Algo1Config cfg = make_algo1(/*n=*/3, /*k=*/2, /*balance=*/10);
+  const auto res = explore_all(cfg, proposals_for(2), cfg.max_own_steps());
+  EXPECT_TRUE(res.agreement) << res.detail;
+  EXPECT_TRUE(res.validity) << res.detail;
+  EXPECT_TRUE(res.termination) << res.detail;
+  EXPECT_GT(res.configs_explored, 10u);
+}
+
+TEST(Algo1Exhaustive, K3AllSchedules) {
+  const Algo1Config cfg = make_algo1(/*n=*/4, /*k=*/3, /*balance=*/10);
+  const auto res = explore_all(cfg, proposals_for(3), cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+  EXPECT_GT(res.configs_explored, 100u);
+}
+
+TEST(Algo1Exhaustive, K3MinimalBalanceBoundaryAllowances) {
+  // U boundary: allowances exactly β/2 + 1 each (the make_sync_state
+  // construction) with odd balance — any two sum to β + 2 > β.
+  Erc20State q = make_sync_state(4, 3, 9);
+  std::vector<ProcessId> parts{0, 1, 2};
+  Algo1Config cfg(q, 0, 1, parts, proposals_for(3));
+  const auto res = explore_all(cfg, proposals_for(3), cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(Algo1Exhaustive, DestinationInsideRaceSetIsFine) {
+  // The paper allows a_d ∈ {a_2..a_k}; use a_d = a_2 (our account 2).
+  Erc20State q = make_sync_state(4, 3, 10);
+  Algo1Config cfg(q, 0, /*dest=*/2, {0, 1, 2}, proposals_for(3));
+  const auto res = explore_all(cfg, proposals_for(3), cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+// ---------------------------------------------------------------------------
+// E2 — randomized sweeps to larger k with crash injection.
+// ---------------------------------------------------------------------------
+class Algo1RandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Algo1RandomSweep, AgreementValidityUnderCrashes) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const auto props = proposals_for(k);
+
+  for (int run = 0; run < 200; ++run) {
+    Algo1Config cfg = make_algo1(/*n=*/k + 1, k, /*balance=*/101);
+    // Crash up to k-1 processes at random points; at least one process
+    // keeps running (wait-freedom needs no quorum, but a check needs a
+    // survivor to observe).
+    std::vector<std::size_t> budgets(k, kNeverCrash);
+    const std::size_t crashes = rng.below(k);
+    for (std::size_t c = 0; c < crashes; ++c) {
+      budgets[rng.below(k)] = rng.below(cfg.max_own_steps() + 1);
+    }
+    auto res = run_random(cfg, rng, budgets);
+    EXPECT_TRUE(res.all_correct_decided);
+    const auto verdict = check_consensus_run(res.decisions, props, budgets);
+    EXPECT_TRUE(verdict.agreement) << verdict.detail;
+    EXPECT_TRUE(verdict.validity) << verdict.detail;
+    EXPECT_TRUE(verdict.termination) << verdict.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Algo1RandomSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 16),
+                       ::testing::Values(1u, 42u, 1234u)));
+
+// ---------------------------------------------------------------------------
+// Winner semantics: the decided value matches the unique successful
+// transfer (the "race" reading of the proof of Theorem 2).
+// ---------------------------------------------------------------------------
+TEST(Algo1Semantics, OwnerSoloDecidesItself) {
+  Algo1Config cfg = make_algo1(3, 2, 10);
+  while (cfg.enabled(0)) cfg.step(0);
+  ASSERT_TRUE(cfg.decision(0).has_value());
+  EXPECT_EQ(cfg.decision(0)->value, 100u);  // p0's proposal
+  // Balance drained to the destination; p1's later run must agree.
+  while (cfg.enabled(1)) cfg.step(1);
+  EXPECT_EQ(cfg.decision(1)->value, 100u);
+}
+
+TEST(Algo1Semantics, SpenderSoloDecidesItself) {
+  Algo1Config cfg = make_algo1(3, 2, 10);
+  while (cfg.enabled(1)) cfg.step(1);
+  ASSERT_TRUE(cfg.decision(1).has_value());
+  EXPECT_EQ(cfg.decision(1)->value, 101u);  // p1's proposal
+  while (cfg.enabled(0)) cfg.step(0);
+  EXPECT_EQ(cfg.decision(0)->value, 101u);
+}
+
+TEST(Algo1Semantics, WinnersAllowanceIsZeroLosersPositive) {
+  Algo1Config cfg = make_algo1(4, 3, 10);
+  // p2 runs alone and wins.
+  while (cfg.enabled(2)) cfg.step(2);
+  EXPECT_EQ(cfg.token().allowance(0, 2), 0u);
+  EXPECT_GT(cfg.token().allowance(0, 1), 0u);
+  // Balance no longer covers any other allowance (U in action).
+  EXPECT_LT(cfg.token().balance(0), cfg.token().allowance(0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// E4 — beyond k: running k' = k + 1 participants from a state in Q_k
+// (the extra participant has no allowance) breaks consensus: the model
+// checker finds a validity violation (the non-spender p_w, running solo,
+// must decide without any proposal being transferable).
+// ---------------------------------------------------------------------------
+TEST(Algo1BeyondK, NonSpenderParticipantBreaksValidity) {
+  // q ∈ Q_2: owner p0 plus spender p1; participant p2 has zero allowance.
+  Erc20State q = make_sync_state(4, 2, 10);
+  ASSERT_EQ(state_class(q), 2u);
+  std::vector<ProcessId> participants{0, 1, 2};
+  const auto props = proposals_for(3);
+  Algo1Config cfg(q, 0, 3, participants, props);
+
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(!res.validity || !res.agreement) << res.detail;
+}
+
+TEST(Algo1BeyondK, SoloOwnerReadsUnwrittenRegister) {
+  // The concrete witness from Theorem 3's intuition: with a permanently
+  // zero-allowance participant p_w = p2 in the scan set, the owner running
+  // solo hits allowance(a_1, p2) == 0 and reads the never-written R[2],
+  // deciding ⊥ — a validity violation.  (This is the wait-free analogue of
+  // "reaching S_k requires the owner's approves to have succeeded".)
+  Erc20State q = make_sync_state(4, 2, 10);
+  Algo1Config cfg(q, 0, 3, {0, 1, 2}, proposals_for(3));
+  while (cfg.enabled(0)) cfg.step(0);
+  ASSERT_TRUE(cfg.decision(0).has_value());
+  EXPECT_TRUE(cfg.decision(0)->bottom);
+}
+
+// ---------------------------------------------------------------------------
+// Wait-freedom accounting: every process decides within its own bound.
+// ---------------------------------------------------------------------------
+class Algo1StepBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(Algo1StepBound, OwnStepsWithinBound) {
+  const int k = GetParam();
+  Rng rng(2024 + k);
+  for (int run = 0; run < 50; ++run) {
+    Algo1Config cfg = make_algo1(k + 1, k, 101);
+    auto res = run_random(cfg, rng, {});
+    for (ProcessId p = 0; p < static_cast<ProcessId>(k); ++p) {
+      EXPECT_LE(res.steps_taken[p], cfg.max_own_steps());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, Algo1StepBound, ::testing::Values(1, 2, 3, 5, 9));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,177 @@
+// Experiment E6 — Algorithm 2 / Theorem 4: the restricted token T|_{Q_k}
+// implemented from k-AT objects and registers.
+//
+// Strict mode must be sequentially equivalent to the direct
+// RestrictedObject<Erc20Spec, q ∈ Q_k>; paper-faithful mode reproduces the
+// pseudocode's two observable deviations (documented in EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algo2.h"
+#include "core/state_class.h"
+#include "objects/restricted.h"
+
+namespace tokensync {
+namespace {
+
+/// The direct specification of T|_{Q_k}: the ERC20 Δ restricted to Q_k.
+struct QkPredicate {
+  std::size_t k;
+  bool operator()(const Erc20State& q) const { return state_class(q) <= k; }
+};
+
+using DirectRestricted = RestrictedObject<Erc20Spec, QkPredicate>;
+
+TEST(Algo2, TransfersWorkThroughKat) {
+  Erc20State q(3, 0, 10);
+  Algo2Token t(q, /*k=*/2);
+  EXPECT_TRUE(t.transfer(0, 1, 4));
+  EXPECT_EQ(t.balance_of(0, 0), 6u);
+  EXPECT_EQ(t.balance_of(0, 1), 4u);
+  EXPECT_FALSE(t.transfer(1, 2, 5));  // insufficient
+  EXPECT_EQ(t.total_supply(0), 10u);
+}
+
+TEST(Algo2, TransferFromEnforcesAllowanceRegisters) {
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 4);
+  Algo2Token t(q, 2);
+  EXPECT_FALSE(t.transfer_from(1, 0, 2, 5));  // beyond allowance
+  EXPECT_TRUE(t.transfer_from(1, 0, 2, 4));
+  EXPECT_EQ(t.allowance(1, 0, 1), 0u);
+  EXPECT_EQ(t.balance_of(1, 2), 4u);
+  EXPECT_FALSE(t.transfer_from(1, 0, 2, 1));  // allowance exhausted
+}
+
+TEST(Algo2, ApproveBeyondKIsRefused) {
+  // Theorem 4's point: the object must not leave Q_k.
+  Erc20State q(4, 0, 10);
+  Algo2Token t(q, 2);
+  EXPECT_TRUE(t.approve(0, 1, 5));   // a0 now has 2 spenders — at the cap
+  EXPECT_FALSE(t.approve(0, 2, 5));  // third spender would leave Q_2
+  EXPECT_EQ(t.allowance(0, 0, 2), 0u);
+  // Revoking p1 frees the slot.
+  EXPECT_TRUE(t.approve(0, 1, 0));
+  EXPECT_TRUE(t.approve(0, 2, 5));
+}
+
+TEST(Algo2, NewKatInstancePerSpenderSetChange) {
+  Erc20State q(4, 0, 10);
+  Algo2Token t(q, 3);
+  const std::size_t before = t.kat_instances();
+  EXPECT_TRUE(t.approve(0, 1, 5));  // adds a spender -> new instance
+  EXPECT_EQ(t.kat_instances(), before + 1);
+  EXPECT_TRUE(t.approve(0, 1, 7));  // same spender set -> no new instance
+  EXPECT_EQ(t.kat_instances(), before + 1);
+}
+
+TEST(Algo2, ApprovedSpenderCanSpendViaEmulatedSharedAccount) {
+  Erc20State q(4, 0, 10);
+  Algo2Token t(q, 2);
+  EXPECT_TRUE(t.approve(0, 2, 6));
+  EXPECT_TRUE(t.transfer_from(2, 0, 2, 6));
+  EXPECT_EQ(t.balance_of(2, 2), 6u);
+  EXPECT_EQ(t.balance_of(2, 0), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Paper-faithful deviations (reproduction findings).
+// ---------------------------------------------------------------------------
+TEST(Algo2PaperFaithful, AllowanceLostOnBalanceFailure) {
+  // Deviation (1): lines 10–11 debit the register before the k-AT
+  // transfer; a balance failure then leaks the allowance.
+  Erc20State q(3, 0, 3);
+  q.set_allowance(0, 1, 8);
+  Algo2Token faithful(q, 2, Algo2Token::Mode::kPaperFaithful);
+  EXPECT_FALSE(faithful.transfer_from(1, 0, 2, 5));  // balance only 3
+  EXPECT_EQ(faithful.allowance(1, 0, 1), 3u);        // 8 - 5: leaked!
+
+  Algo2Token strict(q, 2, Algo2Token::Mode::kStrict);
+  EXPECT_FALSE(strict.transfer_from(1, 0, 2, 5));
+  EXPECT_EQ(strict.allowance(1, 0, 1), 8u);  // refunded, spec-conform
+}
+
+TEST(Algo2PaperFaithful, ReapproveAtCapRefused) {
+  // Deviation (2): line 17 refuses any approve once the account has k
+  // spenders, even a re-approval that would keep the count at k.
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 4);
+  Algo2Token faithful(q, 2, Algo2Token::Mode::kPaperFaithful);
+  EXPECT_FALSE(faithful.approve(0, 1, 9));  // would keep count at 2
+
+  Algo2Token strict(q, 2, Algo2Token::Mode::kStrict);
+  EXPECT_TRUE(strict.approve(0, 1, 9));  // Δ' allows it: stays in Q_2
+  EXPECT_EQ(strict.allowance(0, 0, 1), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential equivalence: strict-mode Algorithm 2 vs. the direct
+// restricted specification, over randomized operation streams.
+// ---------------------------------------------------------------------------
+class Algo2Equivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Algo2Equivalence, MatchesDirectRestrictedSpec) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 4;
+  Erc20State q0(n, 0, 30);
+
+  Algo2Token emulated(q0, k, Algo2Token::Mode::kStrict);
+  DirectRestricted direct(q0, QkPredicate{static_cast<std::size_t>(k)});
+
+  for (int step = 0; step < 600; ++step) {
+    const ProcessId c = static_cast<ProcessId>(rng.below(n));
+    const AccountId a = static_cast<AccountId>(rng.below(n));
+    const AccountId b = static_cast<AccountId>(rng.below(n));
+    const ProcessId p = static_cast<ProcessId>(rng.below(n));
+    const Amount v = rng.below(34);
+
+    switch (rng.below(6)) {
+      case 0: {
+        const bool got = emulated.transfer(c, a, v);
+        const Response want = direct.invoke(c, Erc20Op::transfer(a, v));
+        ASSERT_EQ(Response::boolean(got), want) << "step " << step;
+        break;
+      }
+      case 1: {
+        const bool got = emulated.transfer_from(c, a, b, v);
+        const Response want =
+            direct.invoke(c, Erc20Op::transfer_from(a, b, v));
+        ASSERT_EQ(Response::boolean(got), want) << "step " << step;
+        break;
+      }
+      case 2: {
+        const bool got = emulated.approve(c, p, v);
+        const Response want = direct.invoke(c, Erc20Op::approve(p, v));
+        ASSERT_EQ(Response::boolean(got), want) << "step " << step;
+        break;
+      }
+      case 3:
+        ASSERT_EQ(emulated.balance_of(c, a),
+                  direct.invoke(c, Erc20Op::balance_of(a)).value);
+        break;
+      case 4:
+        ASSERT_EQ(emulated.allowance(c, a, p),
+                  direct.invoke(c, Erc20Op::allowance(a, p)).value);
+        break;
+      default:
+        ASSERT_EQ(emulated.total_supply(c),
+                  direct.invoke(c, Erc20Op::total_supply()).value);
+        break;
+    }
+    // Deep equivalence: the emulated ERC20 state matches the direct one.
+    ASSERT_EQ(emulated.emulated_state(), direct.state()) << "step " << step;
+    // And it never leaves Q_k.
+    ASSERT_LE(state_class(emulated.emulated_state()),
+              static_cast<std::size_t>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Algo2Equivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(11u, 22u, 33u)));
+
+}  // namespace
+}  // namespace tokensync

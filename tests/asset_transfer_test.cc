@@ -1,0 +1,99 @@
+// Tests for the asset-transfer object of Definition 1 (k-AT).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "objects/asset_transfer.h"
+
+namespace tokensync {
+namespace {
+
+TEST(AssetTransfer, UnsharedAccountsOnlyOwnerMaySpend) {
+  AssetTransfer at(AtState({10, 0, 0}));
+  // p1 is not an owner of account 0.
+  EXPECT_EQ(at.invoke(1, AtOp::transfer(0, 1, 5)), Response::boolean(false));
+  // p0 is.
+  EXPECT_EQ(at.invoke(0, AtOp::transfer(0, 1, 5)), Response::boolean(true));
+  EXPECT_EQ(at.state().balance(0), 5u);
+  EXPECT_EQ(at.state().balance(1), 5u);
+}
+
+TEST(AssetTransfer, SharedAccountAnyOwnerMaySpend) {
+  // Account 0 shared by p0 and p1 (a 2-shared account: this is a 2-AT).
+  AtState q({10, 0, 0}, {{0, 1}, {1}, {2}});
+  AssetTransfer at(q);
+  EXPECT_EQ(at.state().sharing_degree(), 2u);
+  EXPECT_EQ(at.invoke(1, AtOp::transfer(0, 2, 4)), Response::boolean(true));
+  EXPECT_EQ(at.invoke(0, AtOp::transfer(0, 2, 6)), Response::boolean(true));
+  EXPECT_EQ(at.state().balance(0), 0u);
+  EXPECT_EQ(at.state().balance(2), 10u);
+  // p2 was never an owner.
+  EXPECT_EQ(at.invoke(2, AtOp::transfer(0, 2, 0)), Response::boolean(false));
+}
+
+TEST(AssetTransfer, InsufficientBalanceFailsAndLeavesStateUnchanged) {
+  AssetTransfer at(AtState({3, 0}));
+  const AtState before = at.state();
+  EXPECT_EQ(at.invoke(0, AtOp::transfer(0, 1, 4)), Response::boolean(false));
+  EXPECT_EQ(at.state(), before);
+}
+
+TEST(AssetTransfer, ZeroTransferByOwnerSucceeds) {
+  AssetTransfer at(AtState({3, 0}));
+  EXPECT_EQ(at.invoke(0, AtOp::transfer(0, 1, 0)), Response::boolean(true));
+}
+
+TEST(AssetTransfer, BalanceOfReads) {
+  AssetTransfer at(AtState({3, 7}));
+  EXPECT_EQ(at.invoke(1, AtOp::balance_of(0)), Response::number(3));
+  EXPECT_EQ(at.invoke(0, AtOp::balance_of(1)), Response::number(7));
+}
+
+TEST(AssetTransfer, SelfTransferKeepsBalance) {
+  AssetTransfer at(AtState({3, 0}));
+  EXPECT_EQ(at.invoke(0, AtOp::transfer(0, 0, 2)), Response::boolean(true));
+  EXPECT_EQ(at.state().balance(0), 3u);
+}
+
+class AtPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AtPropertyTest, ConservationAndOwnershipUnderRandomOps) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(4);
+  std::vector<Amount> balances(n);
+  Amount supply = 0;
+  for (auto& b : balances) {
+    b = rng.below(100);
+    supply += b;
+  }
+  // Random owner sets (non-empty).
+  std::vector<std::vector<ProcessId>> owners(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p == a || rng.chance(1, 3)) owners[a].push_back(p);
+    }
+  }
+  AssetTransfer at(AtState(balances, owners));
+
+  for (int step = 0; step < 300; ++step) {
+    const ProcessId caller = static_cast<ProcessId>(rng.below(n));
+    const AccountId s = static_cast<AccountId>(rng.below(n));
+    const AccountId d = static_cast<AccountId>(rng.below(n));
+    const Amount v = rng.below(120);
+    const AtState before = at.state();
+    const Response r = at.invoke(caller, AtOp::transfer(s, d, v));
+
+    ASSERT_EQ(at.state().total(), supply);
+    if (!r.ok) {
+      ASSERT_EQ(at.state(), before);
+      ASSERT_TRUE(!before.is_owner(s, caller) || before.balance(s) < v);
+    } else {
+      ASSERT_TRUE(before.is_owner(s, caller) && before.balance(s) >= v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtPropertyTest,
+                         ::testing::Values(7, 11, 19, 23, 42, 77, 101, 404));
+
+}  // namespace
+}  // namespace tokensync

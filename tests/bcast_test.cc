@@ -1,0 +1,169 @@
+// Tests for the broadcast stack: FIFO eager reliable broadcast (crash
+// model, lossy links) and Bracha Byzantine reliable broadcast
+// (equivocating sender).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bcast/bracha.h"
+#include "bcast/erb.h"
+
+namespace tokensync {
+namespace {
+
+struct Note {
+  std::uint64_t v = 0;
+  friend bool operator<(const Note& a, const Note& b) { return a.v < b.v; }
+  friend bool operator==(const Note&, const Note&) = default;
+};
+
+struct ErbCluster {
+  using Net = SimNet<ErbMsg<Note>>;
+  Net net;
+  std::vector<std::unique_ptr<ErbNode<Note>>> nodes;
+  // delivered[p] = sequence of (origin, value) at node p.
+  std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> delivered;
+
+  ErbCluster(std::size_t n, NetConfig cfg) : net(n, cfg), delivered(n) {
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes.push_back(std::make_unique<ErbNode<Note>>(
+          net, p,
+          [this, p](ProcessId origin, std::uint64_t, const Note& m) {
+            delivered[p].emplace_back(origin, m.v);
+          }));
+    }
+  }
+};
+
+TEST(Erb, AllNodesDeliverEverything) {
+  ErbCluster c(4, NetConfig{});
+  c.nodes[0]->broadcast(Note{10});
+  c.nodes[1]->broadcast(Note{20});
+  c.nodes[2]->broadcast(Note{30});
+  c.net.run(200000);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(c.delivered[p].size(), 3u) << "node " << p;
+  }
+}
+
+TEST(Erb, FifoPerOrigin) {
+  ErbCluster c(3, NetConfig{.seed = 5, .min_delay = 1, .max_delay = 30});
+  for (std::uint64_t i = 0; i < 10; ++i) c.nodes[0]->broadcast(Note{i});
+  c.net.run(400000);
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(c.delivered[p].size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(c.delivered[p][i].second, i) << "node " << p;
+    }
+  }
+}
+
+TEST(Erb, SurvivesHeavyMessageLoss) {
+  // 40% drop rate: retransmission must still get everything through.
+  ErbCluster c(4, NetConfig{.seed = 11, .min_delay = 1, .max_delay = 10,
+                            .drop_num = 40, .drop_den = 100});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    c.nodes[i % 4]->broadcast(Note{100 + i});
+  }
+  c.net.run(3000000);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(c.delivered[p].size(), 5u) << "node " << p;
+  }
+}
+
+TEST(Erb, AgreementDespiteOriginCrash) {
+  // The origin crashes right after its sends; eager re-broadcast by any
+  // receiver completes delivery everywhere.
+  ErbCluster c(4, NetConfig{.seed = 3, .min_delay = 1, .max_delay = 5});
+  c.nodes[0]->broadcast(Note{7});
+  // Let a few deliveries happen, then crash the origin.
+  for (int i = 0; i < 6; ++i) c.net.step();
+  c.net.crash(0);
+  c.net.run(400000);
+  for (ProcessId p = 1; p < 4; ++p) {
+    ASSERT_EQ(c.delivered[p].size(), 1u) << "node " << p;
+    EXPECT_EQ(c.delivered[p][0].second, 7u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bracha BRB.
+// ---------------------------------------------------------------------------
+struct BrachaCluster {
+  using Net = SimNet<BrachaMsg<Note>>;
+  Net net;
+  std::vector<std::unique_ptr<BrachaNode<Note>>> nodes;
+  std::vector<std::vector<std::pair<ProcessId, std::uint64_t>>> delivered;
+
+  BrachaCluster(std::size_t n, std::size_t f, NetConfig cfg)
+      : net(n, cfg), delivered(n) {
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes.push_back(std::make_unique<BrachaNode<Note>>(
+          net, p, f,
+          [this, p](ProcessId origin, std::uint64_t, const Note& m) {
+            delivered[p].emplace_back(origin, m.v);
+          }));
+    }
+  }
+};
+
+TEST(Bracha, HonestBroadcastDeliversEverywhere) {
+  BrachaCluster c(4, 1, NetConfig{.seed = 2});
+  c.nodes[0]->broadcast(0, Note{77});
+  c.net.run(500000);
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_EQ(c.delivered[p].size(), 1u) << "node " << p;
+    EXPECT_EQ(c.delivered[p][0].second, 77u);
+  }
+}
+
+TEST(Bracha, EquivocatingSenderCannotSplitDelivery) {
+  // Byzantine origin 0 sends value 1 to half the nodes and value 2 to the
+  // other half.  Correct nodes must never deliver different values.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    BrachaCluster c(4, 1, NetConfig{.seed = seed, .min_delay = 1,
+                                    .max_delay = 20});
+    using M = BrachaMsg<Note>;
+    // Hand-crafted equivocation (bypassing the node API, as a Byzantine
+    // sender would).
+    c.net.send(0, 1, M{M::Type::kSend, 0, 0, Note{1}});
+    c.net.send(0, 2, M{M::Type::kSend, 0, 0, Note{2}});
+    c.net.send(0, 3, M{M::Type::kSend, 0, 0, Note{1}});
+    c.net.run(500000);
+
+    std::optional<std::uint64_t> value;
+    for (ProcessId p = 1; p < 4; ++p) {
+      for (const auto& [origin, v] : c.delivered[p]) {
+        if (!value) value = v;
+        EXPECT_EQ(*value, v) << "seed " << seed << " node " << p;
+      }
+    }
+  }
+}
+
+TEST(Bracha, NonOriginCannotForgeASend) {
+  BrachaCluster c(4, 1, NetConfig{.seed = 9});
+  using M = BrachaMsg<Note>;
+  // Node 2 pretends origin 0 sent value 9.
+  c.net.send(2, 1, M{M::Type::kSend, 0, 0, Note{9}});
+  c.net.send(2, 3, M{M::Type::kSend, 0, 0, Note{9}});
+  c.net.run(500000);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(c.delivered[p].empty()) << "node " << p;
+  }
+}
+
+TEST(Bracha, ReadyAmplificationCompletesLateNodes) {
+  // Even if the origin's SEND never reaches node 3, f+1 READYs pull it in.
+  BrachaCluster c(4, 1, NetConfig{.seed = 4});
+  c.net.set_link_filter([](ProcessId from, ProcessId to, std::uint64_t) {
+    return !(from == 0 && to == 3);  // origin cut off from node 3
+  });
+  c.nodes[0]->broadcast(0, Note{55});
+  c.net.run(500000);
+  ASSERT_EQ(c.delivered[3].size(), 1u);
+  EXPECT_EQ(c.delivered[3][0].second, 55u);
+}
+
+}  // namespace
+}  // namespace tokensync

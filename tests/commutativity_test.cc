@@ -1,0 +1,226 @@
+// Experiment E5 — the executable commutativity analysis behind Theorem 3's
+// case analysis, including the claims the proof makes about which
+// operation pairs commute, which are read-only, and which conflict.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "modelcheck/commutativity.h"
+
+namespace tokensync {
+namespace {
+
+Erc20State rich_state() {
+  // Funded accounts and a mix of allowances, so all cases materialize.
+  Erc20State q({6, 5, 4, 3}, {{0, 0, 0, 0},
+                              {0, 0, 0, 0},
+                              {0, 0, 0, 0},
+                              {0, 0, 0, 0}});
+  q.set_allowance(0, 1, 4);
+  q.set_allowance(0, 2, 4);
+  q.set_allowance(1, 2, 5);
+  return q;
+}
+
+TEST(Commutativity, ReadsAreStateReadOnly) {
+  const Erc20State q = rich_state();
+  EXPECT_TRUE(is_state_read_only(q, {0, Erc20Op::balance_of(1)}));
+  EXPECT_TRUE(is_state_read_only(q, {1, Erc20Op::allowance(0, 2)}));
+  EXPECT_TRUE(is_state_read_only(q, {2, Erc20Op::total_supply()}));
+}
+
+TEST(Commutativity, FailedTransferIsEquivalentToReadOnly) {
+  // The proof's device: an operation returning FALSE "is equivalent to a
+  // read-only operation".
+  const Erc20State q = rich_state();
+  EXPECT_TRUE(is_state_read_only(q, {3, Erc20Op::transfer(0, 100)}));
+  EXPECT_TRUE(
+      is_state_read_only(q, {3, Erc20Op::transfer_from(0, 3, 1)}));
+}
+
+TEST(Commutativity, ApproveApproveAlwaysCommute) {
+  // Proof: "if both o1 and o2 are approve invocations ... commute".
+  // Distinct callers write distinct allowance cells.
+  const Erc20State q = rich_state();
+  for (ProcessId c1 = 0; c1 < 4; ++c1) {
+    for (ProcessId c2 = 0; c2 < 4; ++c2) {
+      if (c1 == c2) continue;  // processes are sequential: distinct callers
+      for (ProcessId s1 = 0; s1 < 4; ++s1) {
+        for (ProcessId s2 = 0; s2 < 4; ++s2) {
+          EXPECT_TRUE(commutes(q, {c1, Erc20Op::approve(s1, 7)},
+                               {c2, Erc20Op::approve(s2, 9)}));
+        }
+      }
+    }
+  }
+}
+
+TEST(Commutativity, ApproveTransferAlwaysCommute) {
+  // Proof: approve vs transfer commute (they touch disjoint state).
+  const Erc20State q = rich_state();
+  for (ProcessId c1 = 0; c1 < 4; ++c1) {
+    for (ProcessId c2 = 0; c2 < 4; ++c2) {
+      if (c1 == c2) continue;
+      for (AccountId d = 0; d < 4; ++d) {
+        EXPECT_TRUE(commutes(q, {c1, Erc20Op::approve((c1 + 1) % 4, 7)},
+                             {c2, Erc20Op::transfer(d, 1)}));
+      }
+    }
+  }
+}
+
+TEST(Commutativity, Case1TransferTransferExceptionFunding) {
+  // Case 1: two transfers commute EXCEPT when o1 funds p2's account just
+  // enough to flip o2 from FALSE to TRUE.
+  Erc20State q({5, 0, 0}, {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}});
+  const Invocation o1{0, Erc20Op::transfer(1, 3)};  // funds a1
+  const Invocation o2{1, Erc20Op::transfer(2, 2)};  // needs the funds
+  EXPECT_FALSE(commutes(q, o1, o2));
+  // And o2 before o1 is read-only at q (it fails) — the proof's escape.
+  EXPECT_TRUE(is_state_read_only(q, o2));
+  EXPECT_EQ(classify_pair(q, o1, o2), PairClass::kReadOnly);
+}
+
+TEST(Commutativity, Case2SameSourceContention) {
+  // Case 2: two transferFrom on the same source, balance covers only one,
+  // both callers enabled — genuine conflict.
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 1, 8);
+  q.set_allowance(0, 2, 8);
+  const Invocation o1{1, Erc20Op::transfer_from(0, 1, 8)};
+  const Invocation o2{2, Erc20Op::transfer_from(0, 2, 8)};
+  EXPECT_FALSE(commutes(q, o1, o2));
+  EXPECT_FALSE(is_state_read_only(q, o1));
+  EXPECT_FALSE(is_state_read_only(q, o2));
+  EXPECT_EQ(classify_pair(q, o1, o2), PairClass::kConflict);
+}
+
+TEST(Commutativity, Case2DifferentSourcesCommute) {
+  // "if operation o3 is a transferFrom invocation with source account a_t,
+  //  t ≠ s, then operations o1 and o3 commute".
+  Erc20State q({10, 10, 0, 0}, {{0, 0, 0, 0},
+                                {0, 0, 0, 0},
+                                {0, 0, 0, 0},
+                                {0, 0, 0, 0}});
+  q.set_allowance(0, 2, 8);
+  q.set_allowance(1, 3, 8);
+  const Invocation o1{2, Erc20Op::transfer_from(0, 2, 8)};
+  const Invocation o3{3, Erc20Op::transfer_from(1, 3, 8)};
+  EXPECT_TRUE(commutes(q, o1, o3));
+}
+
+TEST(Commutativity, Case4ApproveEnabledSpenderConflicts) {
+  // Case 4 second sub-case: approve(p2, v) vs transferFrom by an ALREADY
+  // enabled p2 on the same account: the orders differ (debit-then-set vs
+  // set-then-debit).
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 2, 6);
+  const Invocation o1{0, Erc20Op::approve(2, 9)};
+  const Invocation o2{2, Erc20Op::transfer_from(0, 2, 6)};
+  EXPECT_FALSE(commutes(q, o1, o2));
+  EXPECT_EQ(classify_pair(q, o1, o2), PairClass::kConflict);
+}
+
+TEST(Commutativity, Case4NotYetEnabledSpenderIsReadOnly) {
+  // Case 4 first sub-case: if p2 is NOT yet enabled, its transferFrom
+  // before the approve fails — equivalent to read-only.
+  Erc20State q(4, 0, 10);
+  const Invocation o2{2, Erc20Op::transfer_from(0, 2, 6)};
+  EXPECT_TRUE(is_state_read_only(q, o2));
+  const Invocation o1{0, Erc20Op::approve(2, 9)};
+  EXPECT_EQ(classify_pair(q, o1, o2), PairClass::kReadOnly);
+}
+
+TEST(CaseTable, ConflictsOnlyWhereTheProofSaysTheyAre) {
+  // Over an exhaustive enumeration of small invocations: conflicts appear
+  // ONLY in rows involving transfer/transferFrom/approve combinations the
+  // proof analyzes (Cases 1–4); rows with a read-only kind never conflict.
+  const Erc20State q = rich_state();
+  const auto rows = theorem3_case_table(q, {0, 1, 4, 5, 8});
+  for (const auto& row : rows) {
+    const bool involves_read = row.kinds.find("balanceOf") !=
+                                   std::string::npos ||
+                               row.kinds.find("allowance") !=
+                                   std::string::npos ||
+                               row.kinds.find("totalSupply") !=
+                                   std::string::npos;
+    if (involves_read) {
+      EXPECT_EQ(row.conflict, 0u) << row.kinds;
+    }
+    if (row.kinds == "approve x approve") {
+      EXPECT_EQ(row.conflict, 0u);
+    }
+  }
+  // And the contention rows DO conflict somewhere.
+  bool tf_tf_conflict = false, approve_tf_conflict = false;
+  for (const auto& row : rows) {
+    if (row.kinds == "transferFrom x transferFrom" && row.conflict > 0) {
+      tf_tf_conflict = true;
+    }
+    if (row.kinds == "transferFrom x approve" && row.conflict > 0) {
+      approve_tf_conflict = true;
+    }
+  }
+  EXPECT_TRUE(tf_tf_conflict);
+  EXPECT_TRUE(approve_tf_conflict);
+}
+
+TEST(Figure1, RendersBothCases) {
+  const std::string f1a = render_figure1_case2();
+  EXPECT_NE(f1a.find("Case 2"), std::string::npos);
+  EXPECT_NE(f1a.find("do NOT commute"), std::string::npos);
+  const std::string f1b = render_figure1_case4();
+  EXPECT_NE(f1b.find("Case 4"), std::string::npos);
+}
+
+class CommutativityFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommutativityFuzz, ClassifierConsistentWithDefinitions) {
+  // classify_pair must agree with its defining predicates on random
+  // states and invocations.
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t n = 3;
+    Erc20State q(n, static_cast<ProcessId>(rng.below(n)),
+                 1 + rng.below(12));
+    for (int j = 0; j < 3; ++j) {
+      q.set_allowance(static_cast<AccountId>(rng.below(n)),
+                      static_cast<ProcessId>(rng.below(n)), rng.below(6));
+    }
+    auto rand_inv = [&]() -> Invocation {
+      const ProcessId c = static_cast<ProcessId>(rng.below(n));
+      switch (rng.below(4)) {
+        case 0:
+          return {c, Erc20Op::transfer(static_cast<AccountId>(rng.below(n)),
+                                       rng.below(8))};
+        case 1:
+          return {c,
+                  Erc20Op::transfer_from(static_cast<AccountId>(rng.below(n)),
+                                         static_cast<AccountId>(rng.below(n)),
+                                         rng.below(8))};
+        case 2:
+          return {c, Erc20Op::approve(static_cast<ProcessId>(rng.below(n)),
+                                      rng.below(8))};
+        default:
+          return {c, Erc20Op::balance_of(static_cast<AccountId>(
+                         rng.below(n)))};
+      }
+    };
+    const Invocation o1 = rand_inv();
+    const Invocation o2 = rand_inv();
+    const PairClass pc = classify_pair(q, o1, o2);
+    if (pc == PairClass::kConflict) {
+      EXPECT_FALSE(commutes(q, o1, o2));
+      EXPECT_FALSE(is_state_read_only(q, o1));
+      EXPECT_FALSE(is_state_read_only(q, o2));
+    }
+    if (is_state_read_only(q, o1) || is_state_read_only(q, o2)) {
+      EXPECT_EQ(pc, PairClass::kReadOnly);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommutativityFuzz,
+                         ::testing::Values(1, 7, 13, 29, 31));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,253 @@
+// Unit and property tests for the ERC20 token object (Definition 3 /
+// Algorithm 3), including the paper's Example 1 trace (experiment E1).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "objects/erc20.h"
+
+namespace tokensync {
+namespace {
+
+TEST(Erc20State, StandardInitialState) {
+  // Algorithm 3 lines 7–8: deployer holds the supply, allowances empty.
+  const Erc20State q(3, /*deployer=*/0, /*supply=*/10);
+  EXPECT_EQ(q.balance(0), 10u);
+  EXPECT_EQ(q.balance(1), 0u);
+  EXPECT_EQ(q.balance(2), 0u);
+  for (AccountId a = 0; a < 3; ++a) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(q.allowance(a, p), 0u);
+    }
+  }
+  EXPECT_EQ(q.total_supply(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Example 1 of the paper: Alice (p0), Bob (p1), Charlie (p2).
+// ---------------------------------------------------------------------------
+TEST(Erc20Example1, FullTrace) {
+  constexpr ProcessId kAlice = 0, kBob = 1, kCharlie = 2;
+  Erc20Token token(Erc20State(3, kAlice, 10));
+
+  // q0 -> q1: Alice transfers 3 to Bob.
+  EXPECT_EQ(token.invoke(kAlice, Erc20Op::transfer(account_of(kBob), 3)),
+            Response::boolean(true));
+  EXPECT_EQ(token.state().balance(0), 7u);
+  EXPECT_EQ(token.state().balance(1), 3u);
+  EXPECT_EQ(token.state().balance(2), 0u);
+
+  // q1 -> q2: Bob approves Charlie for 5.
+  EXPECT_EQ(token.invoke(kBob, Erc20Op::approve(kCharlie, 5)),
+            Response::boolean(true));
+  EXPECT_EQ(token.state().allowance(account_of(kBob), kCharlie), 5u);
+
+  // q2 -> q3 = q2: Charlie's transferFrom(a_B, a_C, 5) fails — Bob's
+  // balance (3) is insufficient despite the allowance (5).
+  const Erc20State q2 = token.state();
+  EXPECT_EQ(token.invoke(kCharlie,
+                         Erc20Op::transfer_from(account_of(kBob),
+                                                account_of(kCharlie), 5)),
+            Response::boolean(false));
+  EXPECT_EQ(token.state(), q2);
+
+  // q3 -> q4: Charlie's transferFrom(a_B, a_A, 1) succeeds; both Bob's
+  // balance and Charlie's allowance are debited.
+  EXPECT_EQ(token.invoke(kCharlie,
+                         Erc20Op::transfer_from(account_of(kBob),
+                                                account_of(kAlice), 1)),
+            Response::boolean(true));
+  EXPECT_EQ(token.state().balance(0), 8u);
+  EXPECT_EQ(token.state().balance(1), 2u);
+  EXPECT_EQ(token.state().balance(2), 0u);
+  EXPECT_EQ(token.state().allowance(account_of(kBob), kCharlie), 4u);
+  EXPECT_EQ(token.state().total_supply(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Δ-transition unit tests.
+// ---------------------------------------------------------------------------
+TEST(Erc20Transfer, SucceedsWithExactBalance) {
+  Erc20Token t(Erc20State(2, 0, 5));
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 5)), Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 0u);
+  EXPECT_EQ(t.state().balance(1), 5u);
+}
+
+TEST(Erc20Transfer, FailsOnInsufficientBalanceAndLeavesStateUnchanged) {
+  Erc20Token t(Erc20State(2, 0, 5));
+  const Erc20State before = t.state();
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 6)), Response::boolean(false));
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(Erc20Transfer, ZeroValueAlwaysSucceeds) {
+  // β(a_p) >= 0 holds trivially; Δ's first disjunct applies with v = 0.
+  Erc20Token t(Erc20State(2, 1, 5));
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 0)), Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 0u);
+}
+
+TEST(Erc20Transfer, SelfTransferLeavesBalanceUnchanged) {
+  Erc20Token t(Erc20State(2, 0, 5));
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(0, 3)), Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 5u);
+}
+
+TEST(Erc20Transfer, DoesNotTouchAllowances) {
+  Erc20State q(3, 0, 5);
+  q.set_allowance(0, 2, 4);
+  Erc20Token t(q);
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 2)), Response::boolean(true));
+  EXPECT_EQ(t.state().allowance(0, 2), 4u);  // α' ≡ α
+}
+
+TEST(Erc20Approve, SetsAllowanceAbsolutely) {
+  Erc20Token t(Erc20State(2, 0, 5));
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(1, 7)), Response::boolean(true));
+  EXPECT_EQ(t.state().allowance(0, 1), 7u);
+  // approve overwrites, it does not accumulate.
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(1, 2)), Response::boolean(true));
+  EXPECT_EQ(t.state().allowance(0, 1), 2u);
+  // resetting to 0 revokes.
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(1, 0)), Response::boolean(true));
+  EXPECT_EQ(t.state().allowance(0, 1), 0u);
+}
+
+TEST(Erc20Approve, OnlyAffectsCallersAccountRow) {
+  Erc20Token t(Erc20State(3, 0, 5));
+  EXPECT_EQ(t.invoke(1, Erc20Op::approve(2, 9)), Response::boolean(true));
+  EXPECT_EQ(t.state().allowance(1, 2), 9u);
+  EXPECT_EQ(t.state().allowance(0, 2), 0u);
+  EXPECT_EQ(t.state().allowance(2, 2), 0u);
+  // β' ≡ β for approve.
+  EXPECT_EQ(t.state().balance(0), 5u);
+}
+
+TEST(Erc20TransferFrom, RequiresBothBalanceAndAllowance) {
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 4);
+  Erc20Token t(q);
+
+  // Allowance insufficient (balance fine).
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer_from(0, 2, 5)),
+            Response::boolean(false));
+  // Success: both debited.
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer_from(0, 2, 4)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 6u);
+  EXPECT_EQ(t.state().balance(2), 4u);
+  EXPECT_EQ(t.state().allowance(0, 1), 0u);
+  // Now allowance exhausted.
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer_from(0, 2, 1)),
+            Response::boolean(false));
+}
+
+TEST(Erc20TransferFrom, BalanceInsufficientDespiteAllowance) {
+  Erc20State q(3, 0, 2);
+  q.set_allowance(0, 1, 100);
+  Erc20Token t(q);
+  const Erc20State before = t.state();
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer_from(0, 2, 3)),
+            Response::boolean(false));
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(Erc20TransferFrom, OwnerNeedsAllowanceTooPerDefinition3) {
+  // Definition 3 makes no owner exception in transferFrom: the caller's
+  // allowance α(a_s, p) must cover v even when p owns a_s.
+  Erc20Token t(Erc20State(2, 0, 5));
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer_from(0, 1, 1)),
+            Response::boolean(false));
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(0, 1)), Response::boolean(true));
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer_from(0, 1, 1)),
+            Response::boolean(true));
+}
+
+TEST(Erc20TransferFrom, SelfDestinationDebitsOnlyAllowance) {
+  Erc20State q(2, 0, 5);
+  q.set_allowance(0, 1, 3);
+  Erc20Token t(q);
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer_from(0, 0, 2)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 5u);       // debit then credit
+  EXPECT_EQ(t.state().allowance(0, 1), 1u);  // allowance still consumed
+}
+
+TEST(Erc20Reads, DoNotModifyState) {
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 4);
+  Erc20Token t(q);
+  const Erc20State before = t.state();
+  EXPECT_EQ(t.invoke(2, Erc20Op::balance_of(0)), Response::number(10));
+  EXPECT_EQ(t.invoke(2, Erc20Op::allowance(0, 1)), Response::number(4));
+  EXPECT_EQ(t.invoke(2, Erc20Op::total_supply()), Response::number(10));
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(Erc20Overflow, CreditOverflowIsRejectedNotWrapped) {
+  const Amount big = ~Amount{0};
+  Erc20State q({big, 5}, {{0, 0}, {0, 0}});
+  Erc20Token t(q);
+  // Crediting account 0 would overflow; the transfer must fail cleanly.
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer(0, 5)), Response::boolean(false));
+  EXPECT_EQ(t.state().balance(0), big);
+  EXPECT_EQ(t.state().balance(1), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: conservation and response/state consistency across
+// randomized operation streams (parameterized over seeds).
+// ---------------------------------------------------------------------------
+class Erc20PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Erc20PropertyTest, RandomOpStreamPreservesInvariants) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(5);  // 2..6 accounts
+  const Amount supply = 1 + rng.below(1000);
+  Erc20Token t(Erc20State(n, static_cast<ProcessId>(rng.below(n)), supply));
+
+  for (int step = 0; step < 500; ++step) {
+    const ProcessId caller = static_cast<ProcessId>(rng.below(n));
+    const AccountId a = static_cast<AccountId>(rng.below(n));
+    const AccountId b = static_cast<AccountId>(rng.below(n));
+    const ProcessId p = static_cast<ProcessId>(rng.below(n));
+    const Amount v = rng.below(supply + 2);
+    Erc20Op op;
+    switch (rng.below(6)) {
+      case 0: op = Erc20Op::transfer(a, v); break;
+      case 1: op = Erc20Op::transfer_from(a, b, v); break;
+      case 2: op = Erc20Op::approve(p, v); break;
+      case 3: op = Erc20Op::balance_of(a); break;
+      case 4: op = Erc20Op::allowance(a, p); break;
+      default: op = Erc20Op::total_supply(); break;
+    }
+
+    const Erc20State before = t.state();
+    const Response r = t.invoke(caller, op);
+
+    // Conservation: Σβ is invariant under every operation.
+    ASSERT_EQ(t.state().total_supply(), supply);
+
+    // A FALSE response implies an unchanged state (Δ's failure clauses).
+    if (r.kind == Response::Kind::kBool && !r.ok) {
+      ASSERT_EQ(t.state(), before);
+    }
+    // Read-only ops never change state.
+    if (op.is_read_only()) {
+      ASSERT_EQ(t.state(), before);
+    }
+    // transferFrom success implies the allowance strictly decreased
+    // (for v > 0).
+    if (op.kind == Erc20Op::Kind::kTransferFrom && r.ok && v > 0) {
+      ASSERT_EQ(t.state().allowance(op.src, caller),
+                before.allowance(op.src, caller) - v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Erc20PropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,93 @@
+// Experiment E8 — Section 6: consensus from ERC721 (race on one tokenId,
+// winner via ownerOf) and from ERC777 (operators replace approved
+// spenders), exhaustively checked for small k.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/erc721_consensus.h"
+#include "core/erc777_consensus.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(700 + i);
+  return out;
+}
+
+TEST(Erc721Consensus, ExhaustiveK2) {
+  const auto props = proposals_for(2);
+  Erc721ConsensusConfig cfg(2, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(Erc721Consensus, ExhaustiveK3) {
+  const auto props = proposals_for(3);
+  Erc721ConsensusConfig cfg(3, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(Erc721Consensus, SoloWinnerOwnsTheToken) {
+  Erc721ConsensusConfig cfg(3, proposals_for(3));
+  while (cfg.enabled(2)) cfg.step(2);
+  EXPECT_EQ(cfg.decision(2)->value, 702u);
+  while (cfg.enabled(0)) cfg.step(0);
+  EXPECT_EQ(cfg.decision(0)->value, 702u);
+}
+
+TEST(Erc777Consensus, ExhaustiveK2) {
+  const auto props = proposals_for(2);
+  Erc777ConsensusConfig cfg(2, /*balance=*/7, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(Erc777Consensus, ExhaustiveK3) {
+  const auto props = proposals_for(3);
+  Erc777ConsensusConfig cfg(3, /*balance=*/7, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(Erc777Consensus, OperatorDrainsFullBalance) {
+  Erc777ConsensusConfig cfg(3, 7, proposals_for(3));
+  while (cfg.enabled(1)) cfg.step(1);
+  EXPECT_EQ(cfg.decision(1)->value, 701u);
+}
+
+class Erc721777RandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Erc721777RandomSweep, LargerKWithCrashes) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const auto props = proposals_for(k);
+  for (int run = 0; run < 100; ++run) {
+    Erc721ConsensusConfig nft(k, props);
+    Erc777ConsensusConfig ops(k, 5, props);
+    std::vector<std::size_t> budgets(k, kNeverCrash);
+    for (std::size_t c = 0, m = rng.below(k); c < m; ++c) {
+      budgets[rng.below(k)] = rng.below(8);
+    }
+    auto r1 = run_random(nft, rng, budgets);
+    auto v1 = check_consensus_run(r1.decisions, props, budgets);
+    EXPECT_TRUE(v1.agreement && v1.validity && v1.termination) << v1.detail;
+
+    auto r2 = run_random(ops, rng, budgets);
+    auto v2 = check_consensus_run(r2.decisions, props, budgets);
+    EXPECT_TRUE(v2.agreement && v2.validity && v2.termination) << v2.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Erc721777RandomSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8), ::testing::Values(5u,
+                                                                     55u)));
+
+}  // namespace
+}  // namespace tokensync

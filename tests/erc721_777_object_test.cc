@@ -1,0 +1,188 @@
+// Sequential-specification tests for the Section-6 token variants:
+// ERC721 (non-fungible) and ERC777 (operators).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "objects/erc721.h"
+#include "objects/erc777.h"
+
+namespace tokensync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ERC721.
+// ---------------------------------------------------------------------------
+TEST(Erc721, OwnerTransfersOwnToken) {
+  Erc721Token t(Erc721State(3, {0, 1}));
+  EXPECT_EQ(t.invoke(0, Erc721Op::transfer_from(0, 2, 0)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().owner_of(0), 2u);
+}
+
+TEST(Erc721, StrangerCannotTransfer) {
+  Erc721Token t(Erc721State(3, {0}));
+  EXPECT_EQ(t.invoke(1, Erc721Op::transfer_from(0, 1, 0)),
+            Response::boolean(false));
+  EXPECT_EQ(t.state().owner_of(0), 0u);
+}
+
+TEST(Erc721, ApprovedSpenderMayTransferOnce) {
+  Erc721Token t(Erc721State(3, {0}));
+  EXPECT_EQ(t.invoke(0, Erc721Op::approve(1, 0)), Response::boolean(true));
+  EXPECT_EQ(t.state().approved(0), 1u);
+  EXPECT_EQ(t.invoke(1, Erc721Op::transfer_from(0, 1, 0)),
+            Response::boolean(true));
+  // EIP-721: a successful transfer clears the approval.
+  EXPECT_EQ(t.state().approved(0), kNoProcess);
+  // The old owner can no longer move the token.
+  EXPECT_EQ(t.invoke(0, Erc721Op::transfer_from(1, 0, 0)),
+            Response::boolean(false));
+}
+
+TEST(Erc721, WrongSourceFailsEvenForOwner) {
+  Erc721Token t(Erc721State(3, {0}));
+  EXPECT_EQ(t.invoke(0, Erc721Op::transfer_from(1, 2, 0)),
+            Response::boolean(false));
+}
+
+TEST(Erc721, OperatorMayTransferAllTokensOfHolder) {
+  Erc721Token t(Erc721State(3, {0, 0, 1}));
+  EXPECT_EQ(t.invoke(0, Erc721Op::set_approval_for_all(2, true)),
+            Response::boolean(true));
+  EXPECT_EQ(t.invoke(2, Erc721Op::transfer_from(0, 2, 0)),
+            Response::boolean(true));
+  EXPECT_EQ(t.invoke(2, Erc721Op::transfer_from(0, 2, 1)),
+            Response::boolean(true));
+  // Not for other holders' tokens.
+  EXPECT_EQ(t.invoke(2, Erc721Op::transfer_from(1, 2, 2)),
+            Response::boolean(false));
+  // Revocation works.
+  EXPECT_EQ(t.invoke(0, Erc721Op::set_approval_for_all(2, false)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().is_operator(0, 2), false);
+}
+
+TEST(Erc721, ApproveRequiresOwnershipOrOperator) {
+  Erc721Token t(Erc721State(3, {0}));
+  EXPECT_EQ(t.invoke(1, Erc721Op::approve(2, 0)), Response::boolean(false));
+  // An operator may approve on the owner's behalf (EIP-721).
+  EXPECT_EQ(t.invoke(0, Erc721Op::set_approval_for_all(1, true)),
+            Response::boolean(true));
+  EXPECT_EQ(t.invoke(1, Erc721Op::approve(2, 0)), Response::boolean(true));
+  EXPECT_EQ(t.state().approved(0), 2u);
+}
+
+TEST(Erc721, ReadsDoNotModifyState) {
+  Erc721Token t(Erc721State(3, {0, 1}));
+  const Erc721State before = t.state();
+  EXPECT_EQ(t.invoke(2, Erc721Op::owner_of(1)), Response::number(1));
+  EXPECT_EQ(t.invoke(2, Erc721Op::get_approved(0)),
+            Response::number(kNoProcess));
+  EXPECT_EQ(t.invoke(2, Erc721Op::is_approved_for_all(0, 1)),
+            Response::boolean(false));
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(Erc721, TokenCountIsConserved) {
+  // Property: transfers move tokens, never create or destroy them.
+  Rng rng(5);
+  Erc721Token t(Erc721State(4, {0, 1, 2, 3, 0, 1}));
+  for (int i = 0; i < 500; ++i) {
+    const ProcessId c = static_cast<ProcessId>(rng.below(4));
+    const TokenId tok = static_cast<TokenId>(rng.below(6));
+    const AccountId s = static_cast<AccountId>(rng.below(4));
+    const AccountId d = static_cast<AccountId>(rng.below(4));
+    switch (rng.below(3)) {
+      case 0:
+        t.invoke(c, Erc721Op::transfer_from(s, d, tok));
+        break;
+      case 1:
+        t.invoke(c, Erc721Op::approve(static_cast<ProcessId>(rng.below(4)),
+                                      tok));
+        break;
+      default:
+        t.invoke(c, Erc721Op::set_approval_for_all(
+                        static_cast<ProcessId>(rng.below(4)),
+                        rng.chance(1, 2)));
+        break;
+    }
+    ASSERT_EQ(t.state().num_tokens(), 6u);
+    for (TokenId x = 0; x < 6; ++x) {
+      ASSERT_LT(t.state().owner_of(x), 4u);  // always a real account
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ERC777.
+// ---------------------------------------------------------------------------
+TEST(Erc777, SendMovesBalance) {
+  Erc777Token t(Erc777State(3, 0, 10));
+  EXPECT_EQ(t.invoke(0, Erc777Op::send(1, 4)), Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 6u);
+  EXPECT_EQ(t.state().balance(1), 4u);
+}
+
+TEST(Erc777, OperatorSendSpendsEntireBalanceIfAuthorized) {
+  Erc777Token t(Erc777State(3, 0, 10));
+  // p1 not yet an operator.
+  EXPECT_EQ(t.invoke(1, Erc777Op::operator_send(0, 1, 5)),
+            Response::boolean(false));
+  EXPECT_EQ(t.invoke(0, Erc777Op::authorize_operator(1)),
+            Response::boolean(true));
+  // An ERC777 operator is allowed to spend ALL tokens of the holder —
+  // no allowance cap exists.
+  EXPECT_EQ(t.invoke(1, Erc777Op::operator_send(0, 1, 10)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().balance(0), 0u);
+  EXPECT_EQ(t.state().balance(1), 10u);
+}
+
+TEST(Erc777, RevokeOperatorStopsSpending) {
+  Erc777Token t(Erc777State(3, 0, 10));
+  EXPECT_EQ(t.invoke(0, Erc777Op::authorize_operator(2)),
+            Response::boolean(true));
+  EXPECT_EQ(t.invoke(0, Erc777Op::revoke_operator(2)),
+            Response::boolean(true));
+  EXPECT_EQ(t.invoke(2, Erc777Op::operator_send(0, 2, 1)),
+            Response::boolean(false));
+}
+
+TEST(Erc777, HolderIsImplicitOperatorOfOwnAccount) {
+  Erc777Token t(Erc777State(2, 0, 10));
+  EXPECT_EQ(t.invoke(0, Erc777Op::operator_send(0, 1, 3)),
+            Response::boolean(true));
+  EXPECT_EQ(t.state().balance(1), 3u);
+}
+
+TEST(Erc777, ConservationUnderRandomOps) {
+  Rng rng(17);
+  Erc777Token t(Erc777State(4, 2, 50));
+  for (int i = 0; i < 500; ++i) {
+    const ProcessId c = static_cast<ProcessId>(rng.below(4));
+    switch (rng.below(4)) {
+      case 0:
+        t.invoke(c, Erc777Op::send(static_cast<AccountId>(rng.below(4)),
+                                   rng.below(20)));
+        break;
+      case 1:
+        t.invoke(c, Erc777Op::operator_send(
+                        static_cast<AccountId>(rng.below(4)),
+                        static_cast<AccountId>(rng.below(4)),
+                        rng.below(20)));
+        break;
+      case 2:
+        t.invoke(c, Erc777Op::authorize_operator(
+                        static_cast<ProcessId>(rng.below(4))));
+        break;
+      default:
+        t.invoke(c, Erc777Op::revoke_operator(
+                        static_cast<ProcessId>(rng.below(4))));
+        break;
+    }
+    ASSERT_EQ(t.state().total_supply(), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace tokensync

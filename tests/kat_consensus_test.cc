@@ -1,0 +1,77 @@
+// Experiment E7 — the Guerraoui-et-al. baseline: CN(k-AT) ≥ k via the
+// shared-account race, exhaustively checked; plus the register-only
+// context (CN(register) = 1): canonical register protocols fail in ways
+// the explorer finds automatically.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/kat_consensus.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(500 + i);
+  return out;
+}
+
+TEST(KatConsensusExhaustive, K2AllSchedules) {
+  const auto props = proposals_for(2);
+  KatConsensusConfig cfg(2, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+  EXPECT_GT(res.configs_explored, 10u);
+}
+
+TEST(KatConsensusExhaustive, K3AllSchedules) {
+  const auto props = proposals_for(3);
+  KatConsensusConfig cfg(3, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+  EXPECT_GT(res.configs_explored, 100u);
+}
+
+TEST(KatConsensusSemantics, SoloWinnerTakesTheToken) {
+  KatConsensusConfig cfg(3, proposals_for(3));
+  while (cfg.enabled(1)) cfg.step(1);
+  ASSERT_TRUE(cfg.decision(1).has_value());
+  EXPECT_EQ(cfg.decision(1)->value, 501u);
+  // Later processes adopt.
+  while (cfg.enabled(0)) cfg.step(0);
+  while (cfg.enabled(2)) cfg.step(2);
+  EXPECT_EQ(cfg.decision(0)->value, 501u);
+  EXPECT_EQ(cfg.decision(2)->value, 501u);
+}
+
+class KatRandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(KatRandomSweep, AgreementUnderCrashes) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const auto props = proposals_for(k);
+  for (int run = 0; run < 200; ++run) {
+    KatConsensusConfig cfg(k, props);
+    std::vector<std::size_t> budgets(k, kNeverCrash);
+    const std::size_t crashes = rng.below(k);
+    for (std::size_t c = 0; c < crashes; ++c) {
+      budgets[rng.below(k)] = rng.below(cfg.max_own_steps() + 1);
+    }
+    auto res = run_random(cfg, rng, budgets);
+    const auto verdict = check_consensus_run(res.decisions, props, budgets);
+    EXPECT_TRUE(verdict.agreement) << verdict.detail;
+    EXPECT_TRUE(verdict.validity) << verdict.detail;
+    EXPECT_TRUE(verdict.termination) << verdict.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KatRandomSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(3u, 99u)));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,123 @@
+// Tests for the Wing–Gong linearizability checker against the ERC20 and
+// register sequential specifications.
+#include <gtest/gtest.h>
+
+#include "lin/wg.h"
+#include "objects/erc20.h"
+#include "registers/mwmr.h"
+
+namespace tokensync {
+namespace {
+
+using Erc20Hist = History<Erc20Spec>;
+
+HistoryOp<Erc20Spec> op(ProcessId c, Erc20Op o, Response r, std::size_t inv,
+                        std::size_t ret) {
+  HistoryOp<Erc20Spec> h;
+  h.caller = c;
+  h.op = o;
+  h.response = r;
+  h.invoked = inv;
+  h.returned = ret;
+  return h;
+}
+
+TEST(WingGong, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(is_linearizable<Erc20Spec>(Erc20State(2, 0, 10), {}));
+}
+
+TEST(WingGong, SequentialHistoryMatchesSpec) {
+  Erc20Hist h;
+  h.push_back(op(0, Erc20Op::transfer(1, 4), Response::boolean(true), 1, 2));
+  h.push_back(op(1, Erc20Op::balance_of(1), Response::number(4), 3, 4));
+  EXPECT_TRUE(is_linearizable<Erc20Spec>(Erc20State(2, 0, 10), h));
+}
+
+TEST(WingGong, WrongResponseIsNotLinearizable) {
+  Erc20Hist h;
+  h.push_back(op(0, Erc20Op::transfer(1, 4), Response::boolean(true), 1, 2));
+  h.push_back(op(1, Erc20Op::balance_of(1), Response::number(5), 3, 4));
+  EXPECT_FALSE(is_linearizable<Erc20Spec>(Erc20State(2, 0, 10), h));
+}
+
+TEST(WingGong, ConcurrentOpsMayReorder) {
+  // A read overlapping a transfer may see either the old or new balance.
+  for (Amount seen : {Amount{0}, Amount{4}}) {
+    Erc20Hist h;
+    h.push_back(op(0, Erc20Op::transfer(1, 4), Response::boolean(true), 1,
+                   10));
+    h.push_back(op(1, Erc20Op::balance_of(1), Response::number(seen), 2, 9));
+    EXPECT_TRUE(is_linearizable<Erc20Spec>(Erc20State(2, 0, 10), h))
+        << "seen=" << seen;
+  }
+}
+
+TEST(WingGong, RealTimeOrderIsRespected) {
+  // The read strictly AFTER the transfer must see the new balance.
+  Erc20Hist h;
+  h.push_back(op(0, Erc20Op::transfer(1, 4), Response::boolean(true), 1, 2));
+  h.push_back(op(1, Erc20Op::balance_of(1), Response::number(0), 3, 4));
+  EXPECT_FALSE(is_linearizable<Erc20Spec>(Erc20State(2, 0, 10), h));
+}
+
+TEST(WingGong, DoubleSpendIsNotLinearizable) {
+  // Two successful transferFroms whose sum exceeds balance+allowance can
+  // never linearize — the checker is the double-spend detector.
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 6);
+  q.set_allowance(0, 2, 6);
+  Erc20Hist h;
+  h.push_back(op(1, Erc20Op::transfer_from(0, 1, 6),
+                 Response::boolean(true), 1, 10));
+  h.push_back(op(2, Erc20Op::transfer_from(0, 2, 6),
+                 Response::boolean(true), 2, 9));
+  EXPECT_FALSE(is_linearizable<Erc20Spec>(q, h));
+}
+
+TEST(WingGong, FalseResponsesConstrainPlacementToo) {
+  // p1's failed transferFrom must be ordered after p2 drained the balance;
+  // that is consistent here (they overlap).
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 6);
+  q.set_allowance(0, 2, 6);
+  Erc20Hist h;
+  h.push_back(op(1, Erc20Op::transfer_from(0, 1, 6),
+                 Response::boolean(false), 1, 10));
+  h.push_back(op(2, Erc20Op::transfer_from(0, 2, 6),
+                 Response::boolean(true), 2, 9));
+  EXPECT_TRUE(is_linearizable<Erc20Spec>(q, h));
+
+  // But a failure strictly BEFORE the successful drain cannot linearize.
+  Erc20Hist h2;
+  h2.push_back(op(1, Erc20Op::transfer_from(0, 1, 6),
+                  Response::boolean(false), 1, 2));
+  h2.push_back(op(2, Erc20Op::transfer_from(0, 2, 6),
+                  Response::boolean(true), 3, 4));
+  EXPECT_FALSE(is_linearizable<Erc20Spec>(q, h2));
+}
+
+TEST(WingGong, RegisterSpecWorks) {
+  History<RegisterSpec> h;
+  HistoryOp<RegisterSpec> w;
+  w.caller = 0;
+  w.op = RegisterSpec::Op::write(7);
+  w.response = Response::boolean(true);
+  w.invoked = 1;
+  w.returned = 4;
+  HistoryOp<RegisterSpec> r;
+  r.caller = 1;
+  r.op = RegisterSpec::Op::read();
+  r.response = Response::number(7);
+  r.invoked = 2;
+  r.returned = 3;
+  h.push_back(w);
+  h.push_back(r);
+  EXPECT_TRUE(is_linearizable<RegisterSpec>(RegisterSpec::State{}, h));
+
+  // Reading a value never written (and not initial) is not linearizable.
+  h[1].response = Response::number(9);
+  EXPECT_FALSE(is_linearizable<RegisterSpec>(RegisterSpec::State{}, h));
+}
+
+}  // namespace
+}  // namespace tokensync

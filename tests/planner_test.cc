@@ -1,0 +1,54 @@
+// Tests for the synchronization planner (the conclusion's operational
+// insight: required coordination is readable from the state).
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace tokensync {
+namespace {
+
+TEST(Planner, StandardInitialStateIsFullyConsensusFree) {
+  const SyncPlan plan = plan_synchronization(Erc20State(4, 0, 100));
+  EXPECT_EQ(plan.level, 1u);
+  EXPECT_EQ(plan.coordinated_accounts, 0u);
+  for (const auto& ap : plan.accounts) EXPECT_TRUE(ap.consensus_free);
+}
+
+TEST(Planner, ApprovalsCreateCoordinationGroups) {
+  Erc20State q(4, 0, 100);
+  q.set_allowance(0, 1, 60);
+  q.set_allowance(0, 2, 60);
+  const SyncPlan plan = plan_synchronization(q);
+  EXPECT_EQ(plan.level, 3u);
+  EXPECT_EQ(plan.coordinated_accounts, 1u);
+  EXPECT_EQ(plan.accounts[0].group, (std::vector<ProcessId>{0, 1, 2}));
+  EXPECT_TRUE(plan.accounts[1].consensus_free);
+  EXPECT_TRUE(plan.realizable);  // U holds: 60 + 60 > 100
+}
+
+TEST(Planner, NonRealizableLevelIsFlagged) {
+  Erc20State q(4, 0, 100);
+  q.set_allowance(0, 1, 10);
+  q.set_allowance(0, 2, 10);  // 10 + 10 <= 100: U fails
+  const SyncPlan plan = plan_synchronization(q);
+  EXPECT_EQ(plan.level, 3u);
+  EXPECT_FALSE(plan.realizable);
+}
+
+TEST(Planner, ZeroBalanceAccountsNeedNoCoordination) {
+  Erc20State q(3, 0, 100);
+  q.set_allowance(1, 0, 50);  // allowance on an empty account
+  const SyncPlan plan = plan_synchronization(q);
+  EXPECT_TRUE(plan.accounts[1].consensus_free);
+}
+
+TEST(Planner, RenderMentionsGroupsAndLevel) {
+  Erc20State q(3, 0, 100);
+  q.set_allowance(0, 2, 80);
+  const std::string s = plan_synchronization(q).to_string();
+  EXPECT_NE(s.find("k = 2"), std::string::npos);
+  EXPECT_NE(s.find("group {p0, p2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,66 @@
+// Experiment E7 (context) — CN(register) = 1: the canonical register-only
+// consensus attempts fail, and the explorer exhibits the failure mode
+// automatically (agreement violation or a configuration cycle).
+#include <gtest/gtest.h>
+
+#include "modelcheck/explorer.h"
+#include "modelcheck/register_protocols.h"
+#include "modelcheck/valence.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+TEST(NaiveRegisterProtocol, SoloRunsDecideOwnValue) {
+  NaiveRegisterConsensus cfg(0, 1);
+  while (cfg.enabled(0)) cfg.step(0);
+  EXPECT_EQ(cfg.decision(0)->value, 0u);
+}
+
+TEST(NaiveRegisterProtocol, ExplorerFindsDisagreement) {
+  NaiveRegisterConsensus cfg(0, 1);
+  const auto res = explore_all(cfg, {0, 1}, /*solo_bound=*/4);
+  EXPECT_FALSE(res.agreement);
+  EXPECT_FALSE(res.counterexample.empty());
+
+  // The counterexample is the both-write-then-both-read crossing.
+  NaiveRegisterConsensus replay(0, 1);
+  run_schedule(replay, res.counterexample);
+  // Complete any unfinished process to expose both decisions.
+  for (ProcessId p = 0; p < 2; ++p) {
+    while (replay.enabled(p)) replay.step(p);
+  }
+  EXPECT_NE(replay.decision(0)->value, replay.decision(1)->value);
+}
+
+TEST(TurnRegisterProtocol, ExplorerFindsViolation) {
+  // The turn-stealing protocol either cycles forever (wait-freedom
+  // violation) or lets a late stealer disagree with an early decider.
+  TurnRegisterConsensus cfg(0, 1);
+  const auto res = explore_all(cfg, {0, 1}, /*solo_bound=*/8);
+  EXPECT_FALSE(res.all_ok());
+}
+
+TEST(TurnRegisterProtocol, AlternatingScheduleCyclesForever) {
+  TurnRegisterConsensus cfg(0, 1);
+  // p1 reads (turn=0, not mine) ; p1 writes turn=1 ; p0 reads (not mine) ;
+  // p0 writes turn=0 ; repeat — nobody ever decides.
+  for (int round = 0; round < 100; ++round) {
+    cfg.step(1);  // read or write
+    cfg.step(1);
+    cfg.step(0);
+    cfg.step(0);
+  }
+  EXPECT_FALSE(cfg.decision(0).has_value());
+  EXPECT_FALSE(cfg.decision(1).has_value());
+}
+
+TEST(NaiveRegisterProtocol, InitialConfigurationIsBivalent) {
+  // The FLP/Herlihy starting point, computed mechanically.
+  ValenceAnalyzer<NaiveRegisterConsensus> va(NaiveRegisterConsensus(0, 1),
+                                             {0, 1});
+  EXPECT_EQ(va.initial_valence(), kBivalent);
+}
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,155 @@
+// Tests for the register constructions: timestamp MWMR register (checked
+// linearizable via Wing–Gong) and the Afek-style atomic snapshot (checked
+// via the standard snapshot properties).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lin/wg.h"
+#include "registers/mwmr.h"
+#include "registers/snapshot.h"
+
+namespace tokensync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MWMR register.
+// ---------------------------------------------------------------------------
+TEST(Mwmr, SequentialWriteThenRead) {
+  std::vector<std::vector<MwmrSimulation::ScriptOp>> scripts(2);
+  scripts[0] = {{true, 42}};
+  scripts[1] = {{false, 0}};
+  MwmrSimulation sim(std::move(scripts));
+  while (sim.enabled(0)) sim.step(0);
+  while (sim.enabled(1)) sim.step(1);
+  ASSERT_EQ(sim.history().size(), 2u);
+  EXPECT_EQ(sim.history()[1].response, Response::number(42));
+  EXPECT_TRUE(
+      is_linearizable<RegisterSpec>(RegisterSpec::State{}, sim.history()));
+}
+
+TEST(Mwmr, LaterTimestampWins) {
+  std::vector<std::vector<MwmrSimulation::ScriptOp>> scripts(3);
+  scripts[0] = {{true, 1}};
+  scripts[1] = {{true, 2}};
+  scripts[2] = {{false, 0}, {false, 0}};
+  MwmrSimulation sim(std::move(scripts));
+  while (sim.enabled(0)) sim.step(0);  // write 1 completes
+  while (sim.enabled(1)) sim.step(1);  // write 2 completes (higher ts)
+  while (sim.enabled(2)) sim.step(2);
+  ASSERT_EQ(sim.history().size(), 4u);
+  EXPECT_EQ(sim.history()[2].response, Response::number(2));
+  EXPECT_EQ(sim.history()[3].response, Response::number(2));
+  EXPECT_TRUE(
+      is_linearizable<RegisterSpec>(RegisterSpec::State{}, sim.history()));
+}
+
+class MwmrRandomSchedules : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MwmrRandomSchedules, AlwaysLinearizable) {
+  Rng rng(GetParam());
+  for (int run = 0; run < 200; ++run) {
+    const std::size_t n = 2 + rng.below(3);  // 2..4 processes
+    std::vector<std::vector<MwmrSimulation::ScriptOp>> scripts(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t ops = 1 + rng.below(3);
+      for (std::size_t o = 0; o < ops; ++o) {
+        if (rng.chance(1, 2)) {
+          scripts[p].push_back({true, 10 * p + o + 1});
+        } else {
+          scripts[p].push_back({false, 0});
+        }
+      }
+    }
+    MwmrSimulation sim(std::move(scripts));
+    // Random fair schedule.
+    std::vector<ProcessId> runnable;
+    for (;;) {
+      runnable.clear();
+      for (ProcessId p = 0; p < n; ++p) {
+        if (sim.enabled(p)) runnable.push_back(p);
+      }
+      if (runnable.empty()) break;
+      sim.step(runnable[rng.below(runnable.size())]);
+    }
+    ASSERT_TRUE(is_linearizable<RegisterSpec>(RegisterSpec::State{},
+                                              sim.history()))
+        << "run " << run;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwmrRandomSchedules,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
+// ---------------------------------------------------------------------------
+// Atomic snapshot.
+// ---------------------------------------------------------------------------
+TEST(Snapshot, CleanScanSeesCompletedUpdates) {
+  std::vector<std::vector<SnapshotSimulation::ScriptOp>> scripts(2);
+  scripts[0] = {{true, 5}};   // p0 updates its component to 5
+  scripts[1] = {{false, 0}};  // p1 scans
+  SnapshotSimulation sim(std::move(scripts));
+  while (sim.enabled(0)) sim.step(0);
+  while (sim.enabled(1)) sim.step(1);
+  ASSERT_EQ(sim.scans().size(), 1u);
+  EXPECT_EQ(sim.scans()[0].values[0], 5u);
+  EXPECT_EQ(sim.scans()[0].seqs[0], 1u);
+  EXPECT_EQ(check_snapshot_properties(sim), std::nullopt);
+}
+
+TEST(Snapshot, InterleavedUpdatersStillComparable) {
+  std::vector<std::vector<SnapshotSimulation::ScriptOp>> scripts(3);
+  scripts[0] = {{true, 1}, {true, 2}, {true, 3}};
+  scripts[1] = {{true, 9}, {true, 8}};
+  scripts[2] = {{false, 0}, {false, 0}, {false, 0}};
+  SnapshotSimulation sim(std::move(scripts));
+  Rng rng(77);
+  std::vector<ProcessId> runnable;
+  for (;;) {
+    runnable.clear();
+    for (ProcessId p = 0; p < 3; ++p) {
+      if (sim.enabled(p)) runnable.push_back(p);
+    }
+    if (runnable.empty()) break;
+    sim.step(runnable[rng.below(runnable.size())]);
+  }
+  EXPECT_EQ(sim.scans().size(), 3u);
+  EXPECT_EQ(check_snapshot_properties(sim), std::nullopt);
+}
+
+class SnapshotRandomSchedules
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotRandomSchedules, PropertiesHoldUnderAdversarialSchedules) {
+  Rng rng(GetParam());
+  for (int run = 0; run < 150; ++run) {
+    const std::size_t n = 2 + rng.below(3);
+    std::vector<std::vector<SnapshotSimulation::ScriptOp>> scripts(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t ops = 1 + rng.below(4);
+      for (std::size_t o = 0; o < ops; ++o) {
+        scripts[p].push_back({rng.chance(2, 3), 100 * p + o});
+      }
+    }
+    SnapshotSimulation sim(std::move(scripts));
+    std::vector<ProcessId> runnable;
+    std::size_t guard = 0;
+    for (;;) {
+      runnable.clear();
+      for (ProcessId p = 0; p < n; ++p) {
+        if (sim.enabled(p)) runnable.push_back(p);
+      }
+      if (runnable.empty()) break;
+      sim.step(runnable[rng.below(runnable.size())]);
+      ASSERT_LT(++guard, 100000u) << "snapshot not wait-free?";
+    }
+    const auto problem = check_snapshot_properties(sim);
+    ASSERT_EQ(problem, std::nullopt) << *problem << " (run " << run << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotRandomSchedules,
+                         ::testing::Values(17, 29, 41, 53, 67));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,81 @@
+// Direct tests for the state-restricted object T|_{Q'} (Sec. 4, "Further
+// notation"): Δ' = {(q,p,o,r,q') ∈ Δ : q' ∈ Q'}, kept total by refusing
+// (FALSE, unchanged state) the transitions that would leave Q'.
+#include <gtest/gtest.h>
+
+#include "core/state_class.h"
+#include "objects/erc20.h"
+#include "objects/restricted.h"
+
+namespace tokensync {
+namespace {
+
+struct ClassAtMost {
+  std::size_t k;
+  bool operator()(const Erc20State& q) const { return state_class(q) <= k; }
+};
+
+using Restricted = RestrictedObject<Erc20Spec, ClassAtMost>;
+
+TEST(RestrictedObject, TransitionsInsideQPrimeBehaveLikeT) {
+  Restricted t(Erc20State(3, 0, 10), ClassAtMost{2});
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 4)), Response::boolean(true));
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(1, 5)), Response::boolean(true));
+  EXPECT_EQ(t.state().balance(1), 4u);
+  EXPECT_EQ(t.state().allowance(0, 1), 5u);
+}
+
+TEST(RestrictedObject, EscapingApproveIsRefusedWithFalse) {
+  Restricted t(Erc20State(4, 0, 10), ClassAtMost{2});
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(1, 5)), Response::boolean(true));
+  const Erc20State before = t.state();
+  // A third spender for account 0 would reach Q_3 ⊄ Q'.
+  EXPECT_EQ(t.invoke(0, Erc20Op::approve(2, 5)), Response::boolean(false));
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(RestrictedObject, EscapingFundingTransferIsRefused) {
+  // Funding an empty account with dormant allowances can also leave Q':
+  // the zero-balance convention reactivates the spenders.
+  Erc20State q(4, 0, 10);
+  q.set_allowance(1, 2, 3);  // account 1 empty: σ = {p1} for now
+  q.set_allowance(1, 3, 3);
+  Restricted t(q, ClassAtMost{2});
+  const Erc20State before = t.state();
+  EXPECT_EQ(t.invoke(0, Erc20Op::transfer(1, 5)),
+            Response::boolean(false));  // would put a1 in class 3
+  EXPECT_EQ(t.state(), before);
+}
+
+TEST(RestrictedObject, ReadsAreNeverRestricted) {
+  Restricted t(Erc20State(3, 0, 10), ClassAtMost{1});
+  EXPECT_EQ(t.invoke(2, Erc20Op::balance_of(0)), Response::number(10));
+  EXPECT_EQ(t.invoke(2, Erc20Op::total_supply()), Response::number(10));
+}
+
+TEST(RestrictedObject, FailingOpsOfTAreStillFailingInTRestricted) {
+  Restricted t(Erc20State(3, 0, 10), ClassAtMost{3});
+  // Plain Δ failure (insufficient balance), independent of Q'.
+  EXPECT_EQ(t.invoke(1, Erc20Op::transfer(2, 1)), Response::boolean(false));
+}
+
+TEST(RestrictedObject, WholeQIsANoOpRestriction) {
+  // With Q' = Q the restricted object IS T: spot-check over a small
+  // scripted run against the unrestricted wrapper.
+  Restricted r(Erc20State(3, 0, 10), ClassAtMost{3});
+  Erc20Token t(Erc20State(3, 0, 10));
+  const std::vector<std::pair<ProcessId, Erc20Op>> script = {
+      {0, Erc20Op::transfer(1, 4)},
+      {0, Erc20Op::approve(2, 6)},
+      {2, Erc20Op::transfer_from(0, 2, 6)},
+      {2, Erc20Op::transfer(1, 2)},
+      {1, Erc20Op::approve(0, 1)},
+  };
+  for (const auto& [caller, op] : script) {
+    EXPECT_EQ(r.invoke(caller, op), t.invoke(caller, op));
+    EXPECT_EQ(r.state(), t.state());
+  }
+}
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,187 @@
+// Tests for the state-classification framework: σ_q (eq. 10), Q_k
+// partition (eq. 11), U predicate (eq. 13), S_k (eq. 14), and the
+// approve-driven reachability (eq. 12).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/state_class.h"
+
+namespace tokensync {
+namespace {
+
+TEST(EnabledSpenders, OwnerAlwaysEnabledOnFundedAccount) {
+  Erc20State q(3, 0, 10);
+  EXPECT_EQ(enabled_spenders(q, 0), (std::vector<ProcessId>{0}));
+}
+
+TEST(EnabledSpenders, PositiveAllowanceEnablesSpender) {
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 2, 1);
+  EXPECT_EQ(enabled_spenders(q, 0), (std::vector<ProcessId>{0, 2}));
+}
+
+TEST(EnabledSpenders, ZeroBalanceConventionOnlyOwner) {
+  // β(a) = 0 ⇒ σ_q(a) = {ω(a)} even with outstanding allowances (eq. 10's
+  // convention).
+  Erc20State q(3, 0, 10);
+  q.set_allowance(1, 0, 5);  // account 1 has zero balance
+  q.set_allowance(1, 2, 5);
+  EXPECT_EQ(enabled_spenders(q, 1), (std::vector<ProcessId>{1}));
+}
+
+TEST(EnabledSpenders, OwnerAllowanceDoesNotDoubleCount) {
+  Erc20State q(2, 0, 10);
+  q.set_allowance(0, 0, 5);  // owner approved itself
+  EXPECT_EQ(enabled_spenders(q, 0), (std::vector<ProcessId>{0}));
+}
+
+TEST(StateClass, StandardInitialStateIsQ1) {
+  // The ERC20-standard initial state has consensus number 1 (paper
+  // conclusion: "when initialized according to the standard, its
+  // consensus number is 1").
+  const Erc20State q0(5, 0, 100);
+  EXPECT_EQ(state_class(q0), 1u);
+}
+
+TEST(StateClass, MaxOverAccounts) {
+  Erc20State q(4, 0, 100);
+  q.set_allowance(0, 1, 5);               // a0: {p0, p1}        -> 2
+  auto [r, q2] = Erc20Spec::apply(q, 0, Erc20Op::transfer(1, 10));
+  q = q2;
+  q.set_allowance(1, 2, 3);               // a1: {p1, p2}
+  q.set_allowance(1, 3, 3);               // a1: {p1, p2, p3}    -> 3
+  EXPECT_EQ(state_class(q), 3u);
+}
+
+TEST(UPredicate, ZeroBalanceFails) {
+  Erc20State q(3, 0, 10);
+  EXPECT_FALSE(unique_transfer(q, 1));  // empty account
+}
+
+TEST(UPredicate, TwoOrFewerSpendersAlwaysUnique) {
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 1);  // σ = {p0, p1}: |σ| = 2
+  EXPECT_TRUE(unique_transfer(q, 0));
+}
+
+TEST(UPredicate, PairwiseSumAboveBalanceHolds) {
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 1, 6);
+  q.set_allowance(0, 2, 6);
+  q.set_allowance(0, 3, 7);
+  // every pair sums > 10.
+  EXPECT_TRUE(unique_transfer(q, 0));
+}
+
+TEST(UPredicate, PairwiseSumAtOrBelowBalanceFails) {
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 1, 5);
+  q.set_allowance(0, 2, 5);  // 5 + 5 = 10 = β: two transfers can succeed
+  q.set_allowance(0, 3, 7);
+  EXPECT_FALSE(unique_transfer(q, 0));
+}
+
+TEST(SyncStates, MakeSyncStateIsInSk) {
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const Erc20State q = make_sync_state(8, k, 10);
+    EXPECT_EQ(state_class(q), k) << "k=" << k;
+    EXPECT_TRUE(is_synchronization_state(q, k)) << "k=" << k;
+    ASSERT_TRUE(synchronization_witness(q, k).has_value());
+    EXPECT_EQ(*synchronization_witness(q, k), 0u);
+    EXPECT_EQ(synchronization_level(q), k);
+  }
+}
+
+TEST(SyncStates, SkRequiresMembershipInQk) {
+  // An account with k spenders satisfying U does NOT put q in S_k if
+  // another account has more spenders (S_k ⊆ Q_k reading, DESIGN.md).
+  Erc20State q(5, 0, 20);
+  auto [r, q2] = Erc20Spec::apply(q, 0, Erc20Op::transfer(1, 10));
+  q = q2;
+  // a0: balance 10, two spenders (incl. owner), U holds -> witness for 2.
+  q.set_allowance(0, 2, 9);
+  // a1: balance 10, four spenders with U violated (small allowances).
+  q.set_allowance(1, 2, 1);
+  q.set_allowance(1, 3, 1);
+  q.set_allowance(1, 4, 1);
+  EXPECT_EQ(state_class(q), 4u);
+  EXPECT_FALSE(is_synchronization_state(q, 2));  // a0 no longer the max
+  EXPECT_FALSE(is_synchronization_state(q, 4));  // a1 violates U
+  EXPECT_EQ(synchronization_level(q), std::nullopt);
+}
+
+TEST(Reachability, ApproveStepsClimbThePartition) {
+  // Eq. 12: from q ∈ Q_k an owner approve reaches Q_{k+1}; iterating
+  // climbs to Q_n.
+  const std::size_t n = 5;
+  Erc20State q(n, 0, 50);
+  EXPECT_EQ(state_class(q), 1u);
+  for (std::size_t k = 1; k < n; ++k) {
+    auto next = approve_step_up(q);
+    ASSERT_TRUE(next.has_value()) << "k=" << k;
+    EXPECT_EQ(state_class(*next), k + 1);
+    q = *next;
+  }
+  EXPECT_EQ(approve_step_up(q), std::nullopt);  // k = n is the ceiling
+}
+
+TEST(Reachability, OnlyOwnerApproveEntersHigherClass) {
+  // Transfers and transferFrom never increase max_a |σ_q(a)| beyond
+  // enabling... precisely: they cannot ADD a spender with positive
+  // allowance; they can only activate an account whose allowances already
+  // exist.  Property-check on random ops: class increases only via
+  // approve or via funding an account with pre-existing allowances.
+  Rng rng(99);
+  Erc20State q(4, 0, 40);
+  std::size_t cls = state_class(q);
+  for (int i = 0; i < 2000; ++i) {
+    const ProcessId caller = static_cast<ProcessId>(rng.below(4));
+    Erc20Op op;
+    switch (rng.below(3)) {
+      case 0:
+        op = Erc20Op::transfer(static_cast<AccountId>(rng.below(4)),
+                               rng.below(10));
+        break;
+      case 1:
+        op = Erc20Op::transfer_from(static_cast<AccountId>(rng.below(4)),
+                                    static_cast<AccountId>(rng.below(4)),
+                                    rng.below(10));
+        break;
+      default:
+        op = Erc20Op::approve(static_cast<ProcessId>(rng.below(4)),
+                              rng.below(10));
+        break;
+    }
+    auto [r, next] = Erc20Spec::apply(q, caller, op);
+    const std::size_t next_cls = state_class(next);
+    if (next_cls > cls + 1) {
+      // A single step may never jump more than one class when it is an
+      // approve (eq. 12); transfers can activate at most the allowances
+      // already present on the destination.
+      ASSERT_NE(op.kind, Erc20Op::Kind::kApprove);
+    }
+    q = next;
+    cls = next_cls;
+  }
+}
+
+class SyncStateSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyncStateSweep, WitnessConsistency) {
+  const auto [n, k] = GetParam();
+  if (k > n) GTEST_SKIP();
+  const Erc20State q = make_sync_state(n, k, 100);
+  const auto w = synchronization_witness(q, k);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(enabled_spenders(q, *w).size(), static_cast<std::size_t>(k));
+  EXPECT_TRUE(unique_transfer(q, *w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SyncStateSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                                            ::testing::Values(1, 2, 3, 5, 8,
+                                                              16)));
+
+}  // namespace
+}  // namespace tokensync

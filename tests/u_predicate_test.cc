@@ -1,0 +1,143 @@
+// Experiment E3 — necessity of the unique-transfer predicate U (eq. 13).
+//
+// Theorem 2's proof "crucially relies on the fact that there is a unique
+// winner", guaranteed by U.  Here the model checker shows U is not an
+// artifact: with k = 3 spenders whose allowances sum to at most the
+// balance (U violated), there is a schedule in which two transferFrom
+// invocations BOTH succeed and processes decide differently; with U
+// restored, the same instance passes exhaustively.
+#include <gtest/gtest.h>
+
+#include "core/algo1.h"
+#include "core/state_class.h"
+#include "modelcheck/explorer.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+Erc20State u_violating_state() {
+  // Balance 10; allowances 4 and 4: 4 + 4 = 8 ≤ 10, so both spenders can
+  // win the race.
+  Erc20State q(4, /*deployer=*/0, /*supply=*/10);
+  q.set_allowance(0, 1, 4);
+  q.set_allowance(0, 2, 4);
+  return q;
+}
+
+TEST(UPredicateNecessity, ViolatingStateFailsConsensus) {
+  const Erc20State q = u_violating_state();
+  ASSERT_EQ(state_class(q), 3u);
+  ASSERT_FALSE(unique_transfer(q, 0));
+  ASSERT_FALSE(is_synchronization_state(q, 3));
+
+  const std::vector<Amount> props{100, 101, 102};
+  Algo1Config cfg(q, 0, 3, {0, 1, 2}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_FALSE(res.agreement);
+  EXPECT_FALSE(res.counterexample.empty());
+}
+
+TEST(UPredicateNecessity, HandcraftedDoubleWinnerSchedule) {
+  // The concrete disagreement from the analysis: p2 spends first and
+  // decides itself; then p1 spends (still possible — U is violated) and
+  // decides itself.
+  const std::vector<Amount> props{100, 101, 102};
+  Algo1Config cfg(u_violating_state(), 0, 3, {0, 1, 2}, props);
+
+  while (cfg.enabled(2)) cfg.step(2);  // p2 runs alone: spends, decides
+  ASSERT_TRUE(cfg.decision(2).has_value());
+  EXPECT_EQ(cfg.decision(2)->value, 102u);
+
+  while (cfg.enabled(1)) cfg.step(1);  // p1 can still spend: decides itself
+  ASSERT_TRUE(cfg.decision(1).has_value());
+  EXPECT_EQ(cfg.decision(1)->value, 101u);
+
+  // Both transferFroms succeeded — the double-winner U forbids.
+  EXPECT_EQ(cfg.token().allowance(0, 1), 0u);
+  EXPECT_EQ(cfg.token().allowance(0, 2), 0u);
+}
+
+TEST(UPredicateNecessity, RestoringURestoresConsensus) {
+  // Same shape, allowances 6 and 6: 6 + 6 > 10 — U holds; exhaustive pass.
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 1, 6);
+  q.set_allowance(0, 2, 6);
+  ASSERT_TRUE(unique_transfer(q, 0));
+  ASSERT_TRUE(is_synchronization_state(q, 3));
+
+  const std::vector<Amount> props{100, 101, 102};
+  Algo1Config cfg(q, 0, 3, {0, 1, 2}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(UPredicateNecessity, BoundaryExactSumEqualBalanceStillFails) {
+  // α_i + α_j = β exactly: both can win (U requires strict >).
+  Erc20State q(4, 0, 10);
+  q.set_allowance(0, 1, 5);
+  q.set_allowance(0, 2, 5);
+  ASSERT_FALSE(unique_transfer(q, 0));
+
+  const std::vector<Amount> props{100, 101, 102};
+  Algo1Config cfg(q, 0, 3, {0, 1, 2}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_FALSE(res.agreement);
+}
+
+TEST(UPredicateNecessity, BoundaryOneAboveSumSucceeds) {
+  // α_i + α_j = β + 1: unique winner guaranteed.
+  Erc20State q(4, 0, 9);
+  q.set_allowance(0, 1, 5);
+  q.set_allowance(0, 2, 5);
+  ASSERT_TRUE(unique_transfer(q, 0));
+
+  const std::vector<Amount> props{100, 101, 102};
+  Algo1Config cfg(q, 0, 3, {0, 1, 2}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+TEST(UPredicateNecessity, AllowanceExceedingBalanceBreaksValiditySolo) {
+  // REPRODUCTION FINDING: a state satisfying eq. 13 verbatim on which
+  // Algorithm 1 is incorrect.  β(a1) = 1, α(a1, p2) = 2: q ∈ S_2 by the
+  // paper's definition (|σ| = 2, β > 0), but p2's race transferFrom of
+  // its full allowance can never succeed, so p2 running solo scans no
+  // zero allowance and returns the owner's unwritten register — ⊥.
+  // Algorithm 1 additionally needs α(a, p) ≤ β(a) for every enabled
+  // spender (spenders_can_transfer / race_ready).
+  Erc20State q(3, 0, 10);
+  auto [r, q1] = Erc20Spec::apply(q, 0, Erc20Op::transfer(1, 9));
+  q = q1;  // balances [1, 9, 0]
+  q.set_allowance(0, 2, 2);  // allowance 2 > balance 1
+
+  ASSERT_TRUE(unique_transfer(q, 0));          // eq. 13 holds...
+  ASSERT_FALSE(spenders_can_transfer(q, 0));   // ...transferability fails
+  ASSERT_FALSE(race_ready(q, 0));
+
+  const std::vector<Amount> props{100, 102};
+  Algo1Config cfg(q, 0, 1, {0, 2}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_FALSE(res.validity);  // the checker finds the ⊥ decision
+
+  // Concrete witness: p2 (participant index 1) runs alone.
+  Algo1Config solo(q, 0, 1, {0, 2}, props);
+  while (solo.enabled(1)) solo.step(1);
+  ASSERT_TRUE(solo.decision(1).has_value());
+  EXPECT_TRUE(solo.decision(1)->bottom);
+}
+
+TEST(UPredicateNecessity, TwoSpendersNeedNoPairwiseCondition) {
+  // |σ| ≤ 2 branch of U: owner + one spender race on the balance alone.
+  Erc20State q(3, 0, 10);
+  q.set_allowance(0, 1, 3);  // small allowance, still unique winner
+  ASSERT_TRUE(unique_transfer(q, 0));
+
+  const std::vector<Amount> props{100, 101};
+  Algo1Config cfg(q, 0, 2, {0, 1}, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.all_ok()) << res.detail;
+}
+
+}  // namespace
+}  // namespace tokensync

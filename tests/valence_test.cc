@@ -1,0 +1,90 @@
+// Valence analysis tests — mechanizing Theorem 3's proof vocabulary on
+// the Algorithm 1 protocol: bivalent initial configurations, existence of
+// a critical configuration, and the decision-step structure Figure 1
+// depicts.
+#include <gtest/gtest.h>
+
+#include "core/algo1.h"
+#include "core/kat_consensus.h"
+#include "core/state_class.h"
+#include "modelcheck/valence.h"
+
+namespace tokensync {
+namespace {
+
+Algo1Config binary_algo1(std::size_t k) {
+  Erc20State q = make_sync_state(k + 1, k, 9);
+  std::vector<ProcessId> participants;
+  std::vector<Amount> proposals;
+  for (std::size_t i = 0; i < k; ++i) {
+    participants.push_back(static_cast<ProcessId>(i));
+    proposals.push_back(i % 2);  // binary inputs 0/1
+  }
+  return Algo1Config(q, 0, static_cast<AccountId>(k), participants,
+                     proposals);
+}
+
+TEST(Valence, Algo1InitialConfigurationIsBivalent) {
+  // With distinct inputs, both outcomes are reachable — the starting
+  // point of every impossibility argument.
+  ValenceAnalyzer<Algo1Config> va(binary_algo1(2), {0, 1});
+  EXPECT_EQ(va.initial_valence(), kBivalent);
+}
+
+TEST(Valence, SoloPrefixFixesTheOutcome) {
+  // After p0 completes its transfer, the execution is 0-valent.
+  Algo1Config cfg = binary_algo1(2);
+  cfg.step(0);  // write R[0]
+  cfg.step(0);  // transfer(a_d, B) — the decision step
+  ValenceAnalyzer<Algo1Config> va(cfg, {0, 1});
+  EXPECT_EQ(va.valence(cfg), kValence0);
+}
+
+TEST(Valence, CriticalConfigurationExistsAndIsTokenOperated) {
+  // Herlihy: every wait-free consensus protocol has a critical state.
+  // For Algorithm 1 the analyzer finds one, and the decision steps out of
+  // it must operate on the token object (registers/read-only steps would
+  // contradict criticality — exactly the Theorem 3 case analysis).
+  ValenceAnalyzer<Algo1Config> va(binary_algo1(2), {0, 1});
+  const auto critical = va.find_critical();
+  ASSERT_TRUE(critical.has_value());
+
+  bool all_univalent = true;
+  bool any_transfer = false;
+  for (const auto& s : critical->steps) {
+    all_univalent = all_univalent && (s.child_valence != kBivalent);
+    if (s.op.find("transfer") != std::string::npos) any_transfer = true;
+  }
+  EXPECT_TRUE(all_univalent);
+  EXPECT_TRUE(any_transfer);
+  // Both outcomes must still be reachable from q_c itself.
+  EXPECT_EQ(va.valence(critical->config), kBivalent);
+  // Render for humans (also exercised by bench_commutativity).
+  const std::string fig = render_critical<Algo1Config>(*critical);
+  EXPECT_NE(fig.find("critical configuration"), std::string::npos);
+}
+
+TEST(Valence, Algo1K3CriticalConfiguration) {
+  ValenceAnalyzer<Algo1Config> va(binary_algo1(3), {0, 1});
+  const auto critical = va.find_critical();
+  ASSERT_TRUE(critical.has_value());
+  EXPECT_GE(critical->steps.size(), 2u);
+}
+
+TEST(Valence, KatConsensusCriticalConfiguration) {
+  // The same machinery applies to the k-AT construction: its critical
+  // state's decision steps are the shared-account transfers.
+  KatConsensusConfig cfg(2, {0, 1});
+  ValenceAnalyzer<KatConsensusConfig> va(cfg, {0, 1});
+  EXPECT_EQ(va.initial_valence(), kBivalent);
+  const auto critical = va.find_critical();
+  ASSERT_TRUE(critical.has_value());
+  bool any_transfer = false;
+  for (const auto& s : critical->steps) {
+    if (s.op.find("transfer") != std::string::npos) any_transfer = true;
+  }
+  EXPECT_TRUE(any_transfer);
+}
+
+}  // namespace
+}  // namespace tokensync
