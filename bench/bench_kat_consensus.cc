@@ -1,14 +1,17 @@
-// E7 — the Guerraoui et al. baseline: consensus from a k-shared account
-// (CN(k-AT) ≥ k), exhaustively explored and randomly scheduled, plus the
-// ERC721/ERC777 Sec.-6 adaptations for comparison.
+// E7 — the token-race consensus family, benchmarked through the GENERIC
+// registration path: every protocol in token_race_protocols() (k-AT
+// baseline of Guerraoui et al., plus the Sec.-6 ERC721/ERC777
+// adaptations) gets an exhaustive-exploration benchmark and a
+// random-schedule benchmark, registered dynamically — adding a token spec
+// to the registry adds its benchmarks here for free.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
-#include "core/erc721_consensus.h"
-#include "core/erc777_consensus.h"
-#include "core/kat_consensus.h"
-#include "modelcheck/explorer.h"
-#include "sched/scheduler.h"
+#include "modelcheck/register_protocols.h"
 
 namespace {
 
@@ -20,61 +23,51 @@ std::vector<Amount> proposals_for(std::size_t k) {
   return out;
 }
 
-void KatExhaustive(benchmark::State& state) {
+void RunExhaustive(benchmark::State& state, const TokenRaceProtocol& proto) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const auto props = proposals_for(k);
   std::size_t configs = 0;
   for (auto _ : state) {
-    KatConsensusConfig cfg(k, props);
-    const auto res =
-        explore_all(cfg, props, cfg.max_own_steps(), /*check_solo=*/false);
-    if (!res.all_ok()) state.SkipWithError("k-AT consensus violated!");
+    const auto res = proto.explore(k, props, /*check_solo=*/false);
+    if (!res.all_ok()) state.SkipWithError("consensus violated!");
     configs = res.configs_explored;
     benchmark::DoNotOptimize(res);
   }
   state.counters["configs"] = static_cast<double>(configs);
 }
-BENCHMARK(KatExhaustive)->DenseRange(1, 3);
 
-void KatRandomRun(benchmark::State& state) {
+void RunRandom(benchmark::State& state, const TokenRaceProtocol& proto) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const auto props = proposals_for(k);
   Rng rng(5);
   for (auto _ : state) {
-    KatConsensusConfig cfg(k, props);
-    auto res = run_random(cfg, rng, {});
+    auto res = proto.run_random(k, props, rng, {});
     benchmark::DoNotOptimize(res);
   }
   state.SetItemsProcessed(state.iterations() * k);
 }
-BENCHMARK(KatRandomRun)->RangeMultiplier(2)->Range(2, 64);
 
-void Erc721RandomRun(benchmark::State& state) {
-  const std::size_t k = static_cast<std::size_t>(state.range(0));
-  const auto props = proposals_for(k);
-  Rng rng(6);
-  for (auto _ : state) {
-    Erc721ConsensusConfig cfg(k, props);
-    auto res = run_random(cfg, rng, {});
-    benchmark::DoNotOptimize(res);
+void register_all() {
+  for (const auto& proto : token_race_protocols()) {
+    benchmark::RegisterBenchmark(
+        (proto.name + "/Exhaustive").c_str(),
+        [&proto](benchmark::State& s) { RunExhaustive(s, proto); })
+        ->DenseRange(1, 3);
+    benchmark::RegisterBenchmark(
+        (proto.name + "/RandomRun").c_str(),
+        [&proto](benchmark::State& s) { RunRandom(s, proto); })
+        ->RangeMultiplier(4)
+        ->Range(2, 32);
   }
-  state.SetItemsProcessed(state.iterations() * k);
 }
-BENCHMARK(Erc721RandomRun)->RangeMultiplier(4)->Range(2, 32);
-
-void Erc777RandomRun(benchmark::State& state) {
-  const std::size_t k = static_cast<std::size_t>(state.range(0));
-  const auto props = proposals_for(k);
-  Rng rng(7);
-  for (auto _ : state) {
-    Erc777ConsensusConfig cfg(k, 101, props);
-    auto res = run_random(cfg, rng, {});
-    benchmark::DoNotOptimize(res);
-  }
-  state.SetItemsProcessed(state.iterations() * k);
-}
-BENCHMARK(Erc777RandomRun)->RangeMultiplier(4)->Range(2, 32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

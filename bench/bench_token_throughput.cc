@@ -1,21 +1,36 @@
 // E9a — the paper's scalability thesis on hardware: global total order
-// (MutexToken) vs per-account synchronization (ShardedToken).
+// (1 lock shard) vs per-account synchronization (per-account shards),
+// swept across the ConcurrentLedger shard spectrum and token types.
 //
-// Expected shape: with threads touching mostly-disjoint accounts, the
-// sharded token scales with cores while the global mutex flattens; under
-// full contention on ONE account the two converge (per-account
-// synchronization cannot beat the σ-group bottleneck — exactly the
-// paper's point that coordination within σ(a) is irreducible).
+// Expected shape: with threads touching mostly-disjoint accounts,
+// throughput grows with shard count (and cores) while the single-shard
+// ledger flattens; under full contention on ONE account all shard counts
+// converge (per-account synchronization cannot beat the σ-group
+// bottleneck — exactly the paper's point that coordination within σ(a)
+// is irreducible).  The batched path amortizes lock acquisitions over
+// commuting operations grouped per shard.
 //
 // Each operation carries a fixed simulated validation cost (~1 µs,
 // standing in for signature verification / VM execution): what a ledger
 // must do per transaction inside whichever lock protects the state.  The
 // machine's core count bounds the attainable speedup.
+//
+// Alongside the console output the binary always writes
+// BENCH_token_throughput.json (google-benchmark JSON: one entry per
+// implementation × shard count × thread count, ops/sec in
+// items_per_second) so the perf trajectory is machine-trackable across
+// PRs.  --benchmark_out=... overrides the destination.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
-#include "atomic/tokens.h"
+#include "atomic/ledger.h"
+#include "atomic/ledger_specs.h"
 #include "common/rng.h"
 
 namespace {
@@ -24,48 +39,48 @@ using namespace tokensync;
 
 constexpr std::size_t kAccounts = 64;
 constexpr unsigned kValidationCost = 1000;  // ~1 µs of work per op
+constexpr int kIters = 2000;
 
-Erc20State initial_state() {
+Erc20State initial_erc20() {
   std::vector<Amount> balances(kAccounts, 1u << 20);
   return Erc20State(balances,
                     std::vector<std::vector<Amount>>(
                         kAccounts, std::vector<Amount>(kAccounts, 0)));
 }
 
-template <typename Token>
-void run_disjoint(Token& token, int tid, int iters) {
-  // Each thread owns a distinct account neighborhood: commuting ops.
+// Each thread owns a distinct account neighborhood: commuting ops.
+void run_disjoint(Erc20Ledger& ledger, int tid, int iters) {
   Rng rng(100 + tid);
   const ProcessId self = static_cast<ProcessId>(tid % kAccounts);
   for (int i = 0; i < iters; ++i) {
     const AccountId dst =
         static_cast<AccountId>((self + 1 + rng.below(3)) % kAccounts);
-    token.transfer(self, dst, 1);
+    ledger.apply(self, Erc20Op::transfer(dst, 1));
   }
 }
 
-template <typename Token>
-void run_hotspot(Token& token, int tid, int iters) {
-  // Everyone hammers account 0 — the σ-group bottleneck.
+// Everyone hammers account 0 — the σ-group bottleneck.
+void run_hotspot(Erc20Ledger& ledger, int tid, int iters) {
   Rng rng(200 + tid);
   for (int i = 0; i < iters; ++i) {
-    token.transfer(0, static_cast<AccountId>(1 + rng.below(3)), 0);
+    ledger.apply(0, Erc20Op::transfer(
+                        static_cast<AccountId>(1 + rng.below(3)), 0));
   }
 }
 
-template <typename Token, bool Hotspot>
-void TokenThroughput(benchmark::State& state) {
+template <bool Hotspot>
+void Erc20Throughput(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
-  constexpr int kIters = 2000;
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    Token token(initial_state(), kValidationCost);
+    Erc20Ledger ledger(initial_erc20(), kValidationCost, shards);
     std::vector<std::thread> ws;
     for (int t = 0; t < threads; ++t) {
-      ws.emplace_back([&token, t] {
+      ws.emplace_back([&ledger, t] {
         if constexpr (Hotspot) {
-          run_hotspot(token, t, kIters);
+          run_hotspot(ledger, t, kIters);
         } else {
-          run_disjoint(token, t, kIters);
+          run_disjoint(ledger, t, kIters);
         }
       });
     }
@@ -74,31 +89,143 @@ void TokenThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * threads * kIters);
 }
 
-void GlobalOrder_Disjoint(benchmark::State& s) {
-  TokenThroughput<MutexToken, false>(s);
-}
-void PerAccount_Disjoint(benchmark::State& s) {
-  TokenThroughput<ShardedToken, false>(s);
-}
-void GlobalOrder_Hotspot(benchmark::State& s) {
-  TokenThroughput<MutexToken, true>(s);
-}
-void PerAccount_Hotspot(benchmark::State& s) {
-  TokenThroughput<ShardedToken, true>(s);
+void Erc20_Disjoint(benchmark::State& s) { Erc20Throughput<false>(s); }
+void Erc20_Hotspot(benchmark::State& s) { Erc20Throughput<true>(s); }
+
+/// Batched path: the same disjoint workload submitted as per-thread
+/// batches, letting the ledger group commuting ops per shard under one
+/// lock acquisition.
+void Erc20_DisjointBatched(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  constexpr int kBatch = 100;
+  for (auto _ : state) {
+    Erc20Ledger ledger(initial_erc20(), kValidationCost, shards);
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) {
+      ws.emplace_back([&ledger, t] {
+        Rng rng(300 + t);
+        const ProcessId self = static_cast<ProcessId>(t % kAccounts);
+        for (int i = 0; i < kIters / kBatch; ++i) {
+          std::vector<Erc20Ledger::BatchOp> batch(kBatch);
+          for (auto& b : batch) {
+            b.caller = self;
+            b.op = Erc20Op::transfer(
+                static_cast<AccountId>((self + 1 + rng.below(3)) %
+                                       kAccounts),
+                1);
+          }
+          ledger.apply_batch(batch);
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads *
+                          (kIters / kBatch) * kBatch);
 }
 
-// Thread counts capped at the host's hardware concurrency: beyond it the
-// measurement is pure oversubscription noise.  (EXPERIMENTS.md records
-// the effective parallelism of the measurement machine.)
-BENCHMARK(GlobalOrder_Disjoint)->DenseRange(1, 2)->UseRealTime()
-    ->MinTime(0.2);
-BENCHMARK(PerAccount_Disjoint)->DenseRange(1, 2)->UseRealTime()
-    ->MinTime(0.2);
-BENCHMARK(GlobalOrder_Hotspot)->DenseRange(1, 2)->UseRealTime()
-    ->MinTime(0.2);
-BENCHMARK(PerAccount_Hotspot)->DenseRange(1, 2)->UseRealTime()
-    ->MinTime(0.2);
+/// ERC721: threads shuffle their own tokens between their own accounts
+/// (disjoint σ-groups; the state-dependent footprint path).
+void Erc721_Disjoint(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kTokensPerAccount = 4;
+  std::vector<AccountId> owners;
+  for (AccountId a = 0; a < kAccounts; ++a) {
+    for (std::size_t t = 0; t < kTokensPerAccount; ++t) owners.push_back(a);
+  }
+  const Erc721State initial(kAccounts, owners);
+  for (auto _ : state) {
+    Erc721Ledger ledger(initial, kValidationCost, shards);
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) {
+      ws.emplace_back([&ledger, t] {
+        Rng rng(400 + t);
+        AccountId self = static_cast<AccountId>(t % kAccounts);
+        for (int i = 0; i < kIters; ++i) {
+          const TokenId tok = static_cast<TokenId>(
+              self * kTokensPerAccount + rng.below(kTokensPerAccount));
+          const AccountId dst =
+              static_cast<AccountId>(rng.below(kAccounts));
+          // Owner moves its token out and back: σ = {self, dst}.
+          ledger.apply(static_cast<ProcessId>(self),
+                       Erc721Op::transfer_from(self, dst, tok));
+          ledger.apply(static_cast<ProcessId>(dst),
+                       Erc721Op::transfer_from(dst, self, tok));
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kIters * 2);
+}
+
+/// ERC777: operator sends between disjoint neighborhoods.
+void Erc777_Disjoint(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  Erc777State initial(kAccounts, /*deployer=*/0, 0);
+  for (AccountId a = 0; a < kAccounts; ++a) initial.set_balance(a, 1u << 20);
+  for (auto _ : state) {
+    Erc777Ledger ledger(initial, kValidationCost, shards);
+    std::vector<std::thread> ws;
+    for (int t = 0; t < threads; ++t) {
+      ws.emplace_back([&ledger, t] {
+        Rng rng(500 + t);
+        const ProcessId self = static_cast<ProcessId>(t % kAccounts);
+        for (int i = 0; i < kIters; ++i) {
+          const AccountId dst = static_cast<AccountId>(
+              (self + 1 + rng.below(3)) % kAccounts);
+          ledger.apply(self, Erc777Op::send(dst, 1));
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kIters);
+}
+
+void shard_sweep(benchmark::internal::Benchmark* b) {
+  // threads × shards; shards = 1 is the MutexToken baseline, kAccounts
+  // the per-account ShardedToken granularity.
+  for (int threads : {1, 2, 4, 8}) {
+    for (int shards : {1, 4, 16, static_cast<int>(kAccounts)}) {
+      b->Args({threads, shards});
+    }
+  }
+  b->ArgNames({"threads", "shards"});
+  b->UseRealTime();
+  b->MinTime(0.05);
+}
+
+BENCHMARK(Erc20_Disjoint)->Apply(shard_sweep);
+BENCHMARK(Erc20_Hotspot)->Apply(shard_sweep);
+BENCHMARK(Erc20_DisjointBatched)->Apply(shard_sweep);
+BENCHMARK(Erc721_Disjoint)->Apply(shard_sweep);
+BENCHMARK(Erc777_Disjoint)->Apply(shard_sweep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default the JSON artifact on unless the caller redirects it.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_token_throughput.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

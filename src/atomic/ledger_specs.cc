@@ -1,0 +1,350 @@
+#include "atomic/ledger_specs.h"
+
+#include "common/checked.h"
+#include "common/error.h"
+
+namespace tokensync {
+
+// ---------------------------------------------------------------------------
+// ERC20.
+// ---------------------------------------------------------------------------
+
+Erc20LedgerState Erc20LedgerSpec::from_seq(const Erc20State& q) {
+  const std::size_t n = q.num_accounts();
+  Erc20LedgerState s;
+  s.balances.resize(n);
+  s.allowances.assign(n, std::vector<Amount>(n, 0));
+  for (AccountId a = 0; a < n; ++a) {
+    s.balances[a] = q.balance(a);
+    for (ProcessId p = 0; p < n; ++p) s.allowances[a][p] = q.allowance(a, p);
+  }
+  return s;
+}
+
+Erc20State Erc20LedgerSpec::to_seq(const Erc20LedgerState& s) {
+  return Erc20State(s.balances, s.allowances);
+}
+
+void Erc20LedgerSpec::footprint(const Erc20LedgerState& /*s*/,
+                                ProcessId caller, const Erc20Op& op,
+                                Footprint& fp) {
+  switch (op.kind) {
+    case Erc20Op::Kind::kTransfer:
+      fp.add(account_of(caller));
+      fp.add(op.dst);
+      return;
+    case Erc20Op::Kind::kTransferFrom:
+      fp.add(op.src);
+      fp.add(op.dst);
+      return;
+    case Erc20Op::Kind::kApprove:
+      fp.add(account_of(caller));
+      return;
+    case Erc20Op::Kind::kBalanceOf:
+    case Erc20Op::Kind::kAllowance:
+      fp.add(op.src);
+      return;
+    case Erc20Op::Kind::kTotalSupply:
+      fp.set_all();
+      return;
+  }
+  TS_ASSERT(false);
+}
+
+Response Erc20LedgerSpec::apply_inplace(Erc20LedgerState& s, ProcessId caller,
+                                        const Erc20Op& op) {
+  const std::size_t n = s.balances.size();
+  TS_EXPECTS(caller < n);
+
+  switch (op.kind) {
+    case Erc20Op::Kind::kTransfer: {
+      TS_EXPECTS(op.dst < n);
+      const AccountId src = account_of(caller);
+      if (s.balances[src] < op.value ||
+          add_would_overflow(s.balances[op.dst], op.value)) {
+        return Response::boolean(false);
+      }
+      s.balances[src] -= op.value;
+      s.balances[op.dst] += op.value;  // src == dst nets to a no-op
+      return Response::boolean(true);
+    }
+
+    case Erc20Op::Kind::kTransferFrom: {
+      TS_EXPECTS(op.src < n && op.dst < n);
+      if (s.allowances[op.src][caller] < op.value ||
+          s.balances[op.src] < op.value ||
+          add_would_overflow(s.balances[op.dst], op.value)) {
+        return Response::boolean(false);
+      }
+      s.allowances[op.src][caller] -= op.value;
+      s.balances[op.src] -= op.value;
+      s.balances[op.dst] += op.value;
+      return Response::boolean(true);
+    }
+
+    case Erc20Op::Kind::kApprove:
+      TS_EXPECTS(op.spender < n);
+      s.allowances[account_of(caller)][op.spender] = op.value;
+      return Response::boolean(true);
+
+    case Erc20Op::Kind::kBalanceOf:
+      TS_EXPECTS(op.src < n);
+      return Response::number(s.balances[op.src]);
+
+    case Erc20Op::Kind::kAllowance:
+      TS_EXPECTS(op.src < n && op.spender < n);
+      return Response::number(s.allowances[op.src][op.spender]);
+
+    case Erc20Op::Kind::kTotalSupply: {
+      Amount sum = 0;
+      for (Amount b : s.balances) sum = checked_add(sum, b);
+      return Response::number(sum);
+    }
+  }
+  TS_ASSERT(false);
+}
+
+// ---------------------------------------------------------------------------
+// ERC777.
+// ---------------------------------------------------------------------------
+
+Erc777LedgerState Erc777LedgerSpec::from_seq(const Erc777State& q) {
+  const std::size_t n = q.num_accounts();
+  Erc777LedgerState s;
+  s.balances.resize(n);
+  s.operators.assign(n, std::vector<std::uint8_t>(n, 0));
+  for (AccountId a = 0; a < n; ++a) {
+    s.balances[a] = q.balance(a);
+    for (ProcessId p = 0; p < n; ++p) {
+      s.operators[a][p] = q.is_operator(a, p) ? 1 : 0;
+    }
+  }
+  return s;
+}
+
+Erc777State Erc777LedgerSpec::to_seq(const Erc777LedgerState& s) {
+  const std::size_t n = s.balances.size();
+  Erc777State q(n, /*deployer=*/0, /*total_supply=*/0);
+  for (AccountId a = 0; a < n; ++a) {
+    q.set_balance(a, s.balances[a]);
+    for (ProcessId p = 0; p < n; ++p) {
+      q.set_operator(a, p, s.operators[a][p] != 0);
+    }
+  }
+  return q;
+}
+
+void Erc777LedgerSpec::footprint(const Erc777LedgerState& /*s*/,
+                                 ProcessId caller, const Erc777Op& op,
+                                 Footprint& fp) {
+  switch (op.kind) {
+    case Erc777Op::Kind::kSend:
+      fp.add(account_of(caller));
+      fp.add(op.dst);
+      return;
+    case Erc777Op::Kind::kOperatorSend:
+      fp.add(op.src);
+      fp.add(op.dst);
+      return;
+    case Erc777Op::Kind::kAuthorizeOperator:
+    case Erc777Op::Kind::kRevokeOperator:
+      fp.add(account_of(caller));
+      return;
+    case Erc777Op::Kind::kBalanceOf:
+    case Erc777Op::Kind::kIsOperatorFor:
+      fp.add(op.src);
+      return;
+  }
+  TS_ASSERT(false);
+}
+
+Response Erc777LedgerSpec::apply_inplace(Erc777LedgerState& s,
+                                         ProcessId caller,
+                                         const Erc777Op& op) {
+  const std::size_t n = s.balances.size();
+  TS_EXPECTS(caller < n);
+
+  switch (op.kind) {
+    case Erc777Op::Kind::kSend: {
+      TS_EXPECTS(op.dst < n);
+      const AccountId src = account_of(caller);
+      if (s.balances[src] < op.value ||
+          add_would_overflow(s.balances[op.dst], op.value)) {
+        return Response::boolean(false);
+      }
+      s.balances[src] -= op.value;
+      s.balances[op.dst] += op.value;
+      return Response::boolean(true);
+    }
+
+    case Erc777Op::Kind::kOperatorSend: {
+      TS_EXPECTS(op.src < n && op.dst < n);
+      const bool authorized =
+          caller == owner_of(op.src) || s.operators[op.src][caller] != 0;
+      if (!authorized || s.balances[op.src] < op.value ||
+          add_would_overflow(s.balances[op.dst], op.value)) {
+        return Response::boolean(false);
+      }
+      s.balances[op.src] -= op.value;
+      s.balances[op.dst] += op.value;
+      return Response::boolean(true);
+    }
+
+    case Erc777Op::Kind::kAuthorizeOperator:
+      TS_EXPECTS(op.op_process < n);
+      s.operators[account_of(caller)][op.op_process] = 1;
+      return Response::boolean(true);
+
+    case Erc777Op::Kind::kRevokeOperator:
+      TS_EXPECTS(op.op_process < n);
+      s.operators[account_of(caller)][op.op_process] = 0;
+      return Response::boolean(true);
+
+    case Erc777Op::Kind::kBalanceOf:
+      TS_EXPECTS(op.src < n);
+      return Response::number(s.balances[op.src]);
+
+    case Erc777Op::Kind::kIsOperatorFor:
+      TS_EXPECTS(op.src < n && op.op_process < n);
+      return Response::boolean(s.operators[op.src][op.op_process] != 0);
+  }
+  TS_ASSERT(false);
+}
+
+// ---------------------------------------------------------------------------
+// ERC721.
+// ---------------------------------------------------------------------------
+
+Erc721LedgerState Erc721LedgerSpec::from_seq(const Erc721State& q) {
+  const std::size_t n = q.num_accounts();
+  const std::size_t t = q.num_tokens();
+  Erc721LedgerState s;
+  s.accounts = n;
+  s.owner_of = std::vector<std::atomic<AccountId>>(t);
+  s.approved.resize(t);
+  s.operators.assign(n, std::vector<std::uint8_t>(n, 0));
+  for (TokenId tok = 0; tok < t; ++tok) {
+    s.owner_of[tok].store(q.owner_of(tok), std::memory_order_relaxed);
+    s.approved[tok] = q.approved(tok);
+  }
+  for (AccountId a = 0; a < n; ++a) {
+    for (ProcessId p = 0; p < n; ++p) {
+      s.operators[a][p] = q.is_operator(a, p) ? 1 : 0;
+    }
+  }
+  return s;
+}
+
+Erc721State Erc721LedgerSpec::to_seq(const Erc721LedgerState& s) {
+  std::vector<AccountId> owners(s.owner_of.size());
+  for (std::size_t t = 0; t < owners.size(); ++t) {
+    owners[t] = s.owner_of[t].load(std::memory_order_relaxed);
+  }
+  Erc721State q(s.accounts, std::move(owners));
+  for (TokenId t = 0; t < s.approved.size(); ++t) {
+    q.set_approved(t, s.approved[t]);
+  }
+  for (AccountId a = 0; a < s.accounts; ++a) {
+    for (ProcessId p = 0; p < s.accounts; ++p) {
+      q.set_operator(a, p, s.operators[a][p] != 0);
+    }
+  }
+  return q;
+}
+
+void Erc721LedgerSpec::footprint(const Erc721LedgerState& s, ProcessId caller,
+                                 const Erc721Op& op, Footprint& fp) {
+  switch (op.kind) {
+    case Erc721Op::Kind::kTransferFrom:
+      fp.add(op.src);
+      fp.add(op.dst);
+      return;
+    // Token-keyed operations are guarded by the token's current owner's
+    // shard; the lock-free owner read makes the footprint state-dependent
+    // and ConcurrentLedger revalidates it after locking.
+    case Erc721Op::Kind::kApprove:
+    case Erc721Op::Kind::kOwnerOf:
+    case Erc721Op::Kind::kGetApproved:
+      TS_EXPECTS(op.token < s.owner_of.size());
+      fp.add(s.owner_of[op.token].load(std::memory_order_acquire));
+      return;
+    case Erc721Op::Kind::kSetApprovalForAll:
+      fp.add(account_of(caller));
+      return;
+    case Erc721Op::Kind::kIsApprovedForAll:
+      fp.add(op.src);
+      return;
+  }
+  TS_ASSERT(false);
+}
+
+Response Erc721LedgerSpec::apply_inplace(Erc721LedgerState& s,
+                                         ProcessId caller,
+                                         const Erc721Op& op) {
+  const std::size_t n = s.accounts;
+  TS_EXPECTS(caller < n);
+
+  switch (op.kind) {
+    case Erc721Op::Kind::kTransferFrom: {
+      TS_EXPECTS(op.src < n && op.dst < n &&
+                 op.token < s.owner_of.size());
+      // We hold {src, dst}; if src really owns the token, src's shard is
+      // the guarding lock.  If not, fail exactly like the sequential spec
+      // (the owner read is atomic, so this is race-free either way).
+      const bool owns =
+          s.owner_of[op.token].load(std::memory_order_acquire) == op.src;
+      const bool authorized = caller == owner_of(op.src) ||
+                              (owns && s.approved[op.token] == caller) ||
+                              s.operators[op.src][caller] != 0;
+      if (!owns || !authorized) return Response::boolean(false);
+      s.approved[op.token] = kNoProcess;  // EIP-721: approval cleared
+      // The release store hands guardianship of the token to dst's shard.
+      s.owner_of[op.token].store(op.dst, std::memory_order_release);
+      return Response::boolean(true);
+    }
+
+    case Erc721Op::Kind::kApprove: {
+      TS_EXPECTS(op.spender < n && op.token < s.owner_of.size());
+      // ConcurrentLedger guarantees the holder's shard is locked (it
+      // revalidated the footprint after locking).
+      const AccountId holder =
+          s.owner_of[op.token].load(std::memory_order_acquire);
+      if (caller != owner_of(holder) &&
+          s.operators[holder][caller] == 0) {
+        return Response::boolean(false);
+      }
+      s.approved[op.token] = op.spender;
+      return Response::boolean(true);
+    }
+
+    case Erc721Op::Kind::kSetApprovalForAll:
+      TS_EXPECTS(op.spender < n);
+      s.operators[account_of(caller)][op.spender] = op.flag ? 1 : 0;
+      return Response::boolean(true);
+
+    case Erc721Op::Kind::kOwnerOf:
+      TS_EXPECTS(op.token < s.owner_of.size());
+      return Response::number(
+          s.owner_of[op.token].load(std::memory_order_acquire));
+
+    case Erc721Op::Kind::kGetApproved:
+      TS_EXPECTS(op.token < s.owner_of.size());
+      return Response::number(s.approved[op.token]);
+
+    case Erc721Op::Kind::kIsApprovedForAll:
+      TS_EXPECTS(op.src < n && op.spender < n);
+      return Response::boolean(s.operators[op.src][op.spender] != 0);
+  }
+  TS_ASSERT(false);
+}
+
+Amount Erc721LedgerSpec::account_value(const Erc721LedgerState& s,
+                                       AccountId a) {
+  Amount owned = 0;
+  for (const auto& owner : s.owner_of) {
+    if (owner.load(std::memory_order_relaxed) == a) ++owned;
+  }
+  return owned;
+}
+
+}  // namespace tokensync

@@ -1,0 +1,146 @@
+// ConcurrentTokenSpec instantiations: the in-place, footprint-annotated
+// forms of the ERC20, ERC721 and ERC777 sequential specifications.
+//
+// Each spec mirrors its objects/ sequential specification response-for-
+// response (the linearizability tests check exactly this), adds the
+// account-footprint function σ (which accounts an operation touches, the
+// unit of sharded locking in ConcurrentLedger), and lays the state out as
+// flat arrays updated in place.
+//
+// Footprints:
+//   ERC20   — argument-only: transfer {caller, dst}, transferFrom
+//             {src, dst} (an account's allowance row shares the account's
+//             shard: transferFrom must debit balance and allowance
+//             atomically — they belong to the same σ-group anyway),
+//             approve {caller}, totalSupply = all shards.
+//   ERC777  — argument-only: send/operatorSend {src, dst}, operator
+//             management {caller}.
+//   ERC721  — *state-dependent*: a token's data (owner, per-token
+//             approval) is guarded by its CURRENT owner's account shard,
+//             so approve/ownerOf/getApproved footprints read owner_of
+//             through an atomic and ConcurrentLedger's optimistic
+//             footprint loop revalidates after locking.  transferFrom's
+//             footprint is {src, dst} from the arguments: if the token
+//             is not owned by src it fails like the sequential spec, and
+//             if it is, src's shard is exactly the guarding lock; a
+//             successful transfer hands guardianship to dst's shard at
+//             the atomic owner store.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atomic/ledger.h"
+#include "common/ids.h"
+#include "objects/erc20.h"
+#include "objects/erc721.h"
+#include "objects/erc777.h"
+
+namespace tokensync {
+
+// ---------------------------------------------------------------------------
+// ERC20.
+// ---------------------------------------------------------------------------
+
+/// Flat in-place ERC20 state; balances[a] and allowances[a] are guarded by
+/// account a's shard lock.
+struct Erc20LedgerState {
+  std::vector<Amount> balances;
+  std::vector<std::vector<Amount>> allowances;  // [account][process]
+};
+
+struct Erc20LedgerSpec {
+  using SeqSpec = Erc20Spec;
+  using SeqState = Erc20State;
+  using Op = Erc20Op;
+  using State = Erc20LedgerState;
+
+  static State from_seq(const SeqState& q);
+  static SeqState to_seq(const State& s);
+  static std::size_t num_accounts(const State& s) {
+    return s.balances.size();
+  }
+  static void footprint(const State& s, ProcessId caller, const Op& op,
+                        Footprint& fp);
+  static Response apply_inplace(State& s, ProcessId caller, const Op& op);
+  static Amount account_value(const State& s, AccountId a) {
+    return s.balances[a];
+  }
+};
+
+static_assert(ConcurrentTokenSpec<Erc20LedgerSpec>);
+
+// ---------------------------------------------------------------------------
+// ERC777.
+// ---------------------------------------------------------------------------
+
+/// Flat in-place ERC777 state; balances[a] and operators[a] are guarded by
+/// account a's shard lock.
+struct Erc777LedgerState {
+  std::vector<Amount> balances;
+  std::vector<std::vector<std::uint8_t>> operators;  // [holder][process]
+};
+
+struct Erc777LedgerSpec {
+  using SeqSpec = Erc777Spec;
+  using SeqState = Erc777State;
+  using Op = Erc777Op;
+  using State = Erc777LedgerState;
+
+  static State from_seq(const SeqState& q);
+  static SeqState to_seq(const State& s);
+  static std::size_t num_accounts(const State& s) {
+    return s.balances.size();
+  }
+  static void footprint(const State& s, ProcessId caller, const Op& op,
+                        Footprint& fp);
+  static Response apply_inplace(State& s, ProcessId caller, const Op& op);
+  static Amount account_value(const State& s, AccountId a) {
+    return s.balances[a];
+  }
+};
+
+static_assert(ConcurrentTokenSpec<Erc777LedgerSpec>);
+
+// ---------------------------------------------------------------------------
+// ERC721.
+// ---------------------------------------------------------------------------
+
+/// Flat in-place ERC721 state.  owner_of is atomic so that state-dependent
+/// footprints can read it without holding any lock (see file comment);
+/// approved[t] is guarded by t's current owner's shard, operators[a] by
+/// account a's shard.
+struct Erc721LedgerState {
+  std::size_t accounts = 0;
+  std::vector<std::atomic<AccountId>> owner_of;       // token -> owner
+  std::vector<ProcessId> approved;                    // token -> spender
+  std::vector<std::vector<std::uint8_t>> operators;   // [holder][process]
+};
+
+struct Erc721LedgerSpec {
+  using SeqSpec = Erc721Spec;
+  using SeqState = Erc721State;
+  using Op = Erc721Op;
+  using State = Erc721LedgerState;
+
+  static State from_seq(const SeqState& q);
+  static SeqState to_seq(const State& s);
+  static std::size_t num_accounts(const State& s) { return s.accounts; }
+  static void footprint(const State& s, ProcessId caller, const Op& op,
+                        Footprint& fp);
+  static Response apply_inplace(State& s, ProcessId caller, const Op& op);
+  /// Tokens currently owned by `a` — conservation counts tokens, not
+  /// fungible units.
+  static Amount account_value(const State& s, AccountId a);
+};
+
+static_assert(ConcurrentTokenSpec<Erc721LedgerSpec>);
+
+/// The ready-to-use sharded ledgers of the token family.
+using Erc20Ledger = ConcurrentLedger<Erc20LedgerSpec>;
+using Erc721Ledger = ConcurrentLedger<Erc721LedgerSpec>;
+using Erc777Ledger = ConcurrentLedger<Erc777LedgerSpec>;
+
+}  // namespace tokensync

@@ -1,178 +1,12 @@
 #include "atomic/tokens.h"
 
-#include <algorithm>
-
-#include "common/checked.h"
 #include "common/error.h"
 
 namespace tokensync {
 
-// ---------------------------------------------------------------------------
-// MutexToken.
-// ---------------------------------------------------------------------------
-MutexToken::MutexToken(const Erc20State& initial, unsigned validation_spin)
-    : validation_spin_(validation_spin),
-      balances_(initial.num_accounts()),
-      allowances_(initial.num_accounts(),
-                  std::vector<Amount>(initial.num_accounts(), 0)) {
-  for (AccountId a = 0; a < initial.num_accounts(); ++a) {
-    balances_[a] = initial.balance(a);
-    for (ProcessId p = 0; p < initial.num_accounts(); ++p) {
-      allowances_[a][p] = initial.allowance(a, p);
-    }
-  }
-}
-
-bool MutexToken::transfer(ProcessId caller, AccountId dst, Amount v) {
-  const std::scoped_lock lock(mu_);
-  simulated_validation(validation_spin_);
-  const AccountId src = account_of(caller);
-  if (balances_[src] < v ||
-      (src != dst && add_would_overflow(balances_[dst], v))) {
-    return false;
-  }
-  balances_[src] -= v;
-  balances_[dst] += v;
-  return true;
-}
-
-bool MutexToken::transfer_from(ProcessId caller, AccountId src,
-                               AccountId dst, Amount v) {
-  const std::scoped_lock lock(mu_);
-  simulated_validation(validation_spin_);
-  if (allowances_[src][caller] < v || balances_[src] < v ||
-      (src != dst && add_would_overflow(balances_[dst], v))) {
-    return false;
-  }
-  allowances_[src][caller] -= v;
-  balances_[src] -= v;
-  balances_[dst] += v;
-  return true;
-}
-
-bool MutexToken::approve(ProcessId caller, ProcessId spender, Amount v) {
-  const std::scoped_lock lock(mu_);
-  allowances_[account_of(caller)][spender] = v;
-  return true;
-}
-
-Amount MutexToken::balance_of(AccountId a) const {
-  const std::scoped_lock lock(mu_);
-  return balances_.at(a);
-}
-
-Amount MutexToken::allowance(AccountId a, ProcessId p) const {
-  const std::scoped_lock lock(mu_);
-  return allowances_.at(a).at(p);
-}
-
-Amount MutexToken::total_supply() const {
-  const std::scoped_lock lock(mu_);
-  Amount sum = 0;
-  for (Amount b : balances_) sum = checked_add(sum, b);
-  return sum;
-}
-
-Erc20State MutexToken::snapshot() const {
-  const std::scoped_lock lock(mu_);
-  return Erc20State(balances_, allowances_);
-}
-
-// ---------------------------------------------------------------------------
-// ShardedToken.
-// ---------------------------------------------------------------------------
-ShardedToken::ShardedToken(const Erc20State& initial,
-                           unsigned validation_spin)
-    : validation_spin_(validation_spin),
-      balances_(initial.num_accounts()),
-      allowances_(initial.num_accounts(),
-                  std::vector<Amount>(initial.num_accounts(), 0)),
-      accounts_(std::make_unique<Account[]>(initial.num_accounts())) {
-  for (AccountId a = 0; a < initial.num_accounts(); ++a) {
-    balances_[a] = initial.balance(a);
-    for (ProcessId p = 0; p < initial.num_accounts(); ++p) {
-      allowances_[a][p] = initial.allowance(a, p);
-    }
-  }
-}
-
-bool ShardedToken::transfer(ProcessId caller, AccountId dst, Amount v) {
-  const AccountId src = account_of(caller);
-  if (src == dst) {
-    const std::scoped_lock lock(accounts_[src].mu);
-    simulated_validation(validation_spin_);
-    return balances_[src] >= v;  // debit-then-credit cancels
-  }
-  // Canonical lock order prevents deadlock.
-  const AccountId lo = std::min(src, dst), hi = std::max(src, dst);
-  const std::scoped_lock lock(accounts_[lo].mu, accounts_[hi].mu);
-  simulated_validation(validation_spin_);
-  if (balances_[src] < v || add_would_overflow(balances_[dst], v)) {
-    return false;
-  }
-  balances_[src] -= v;
-  balances_[dst] += v;
-  return true;
-}
-
-bool ShardedToken::transfer_from(ProcessId caller, AccountId src,
-                                 AccountId dst, Amount v) {
-  if (src == dst) {
-    const std::scoped_lock lock(accounts_[src].mu);
-    simulated_validation(validation_spin_);
-    if (allowances_[src][caller] < v || balances_[src] < v) return false;
-    allowances_[src][caller] -= v;  // balance debit+credit cancels
-    return true;
-  }
-  const AccountId lo = std::min(src, dst), hi = std::max(src, dst);
-  const std::scoped_lock lock(accounts_[lo].mu, accounts_[hi].mu);
-  simulated_validation(validation_spin_);
-  if (allowances_[src][caller] < v || balances_[src] < v ||
-      add_would_overflow(balances_[dst], v)) {
-    return false;
-  }
-  allowances_[src][caller] -= v;
-  balances_[src] -= v;
-  balances_[dst] += v;
-  return true;
-}
-
-bool ShardedToken::approve(ProcessId caller, ProcessId spender, Amount v) {
-  const AccountId a = account_of(caller);
-  const std::scoped_lock lock(accounts_[a].mu);
-  allowances_[a][spender] = v;
-  return true;
-}
-
-Amount ShardedToken::balance_of(AccountId a) const {
-  const std::scoped_lock lock(accounts_[a].mu);
-  return balances_[a];
-}
-
-Amount ShardedToken::allowance(AccountId a, ProcessId p) const {
-  const std::scoped_lock lock(accounts_[a].mu);
-  return allowances_[a][p];
-}
-
-Amount ShardedToken::total_supply_weak() const {
-  Amount sum = 0;
-  for (AccountId a = 0; a < balances_.size(); ++a) {
-    const std::scoped_lock lock(accounts_[a].mu);
-    sum = checked_add(sum, balances_[a]);
-  }
-  return sum;
-}
-
-Erc20State ShardedToken::snapshot() const {
-  std::vector<Amount> b(balances_.size());
-  std::vector<std::vector<Amount>> al(balances_.size());
-  for (AccountId a = 0; a < balances_.size(); ++a) {
-    const std::scoped_lock lock(accounts_[a].mu);
-    b[a] = balances_[a];
-    al[a] = allowances_[a];
-  }
-  return Erc20State(std::move(b), std::move(al));
-}
+// MutexToken and ShardedToken are header-only wrappers over
+// ConcurrentLedger<Erc20LedgerSpec>; only the lock-free race object and
+// the hardware Algorithm 1 live here.
 
 // ---------------------------------------------------------------------------
 // AtomicRaceToken.

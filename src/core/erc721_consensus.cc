@@ -1,114 +1,42 @@
 #include "core/erc721_consensus.h"
 
-#include <sstream>
-
 #include "common/error.h"
-#include "common/hash.h"
 
 namespace tokensync {
 
-Erc721ConsensusConfig::Erc721ConsensusConfig(std::size_t k,
-                                             std::vector<Amount> proposals)
-    : proposals_(std::move(proposals)) {
+Erc721State Erc721RaceSpec::make_race(std::size_t k) const {
   TS_EXPECTS(k >= 1);
-  TS_EXPECTS(proposals_.size() == k);
-  // n = k+1 accounts; token 0 lives in account 0 (owned by process 0).
-  nft_ = Erc721State(k + 1, {0});
-  // Every non-owner participant becomes an operator for account 0 — the
-  // Sec. 6 "replace approved spenders with operators" move.
-  for (ProcessId p = 1; p < k; ++p) nft_.set_operator(0, p, true);
-  regs_.assign(k, std::nullopt);
-  locals_.assign(k, Local{});
+  Erc721State q(k + 1, {0});
+  for (ProcessId p = 1; p < k; ++p) q.set_operator(0, p, true);
+  return q;
 }
 
-bool Erc721ConsensusConfig::enabled(ProcessId i) const {
-  return i < locals_.size() && locals_[i].pc != Local::kDone;
+void Erc721RaceSpec::try_win(Erc721State& q, ProcessId i) const {
+  auto [resp, next] = Erc721Spec::apply(
+      q, i, Erc721Op::transfer_from(0, static_cast<AccountId>(i + 1), 0));
+  q = std::move(next);
 }
 
-void Erc721ConsensusConfig::step(ProcessId i) {
-  TS_EXPECTS(enabled(i));
-  Local& me = locals_[i];
-
-  switch (me.pc) {
-    case Local::kWrite:
-      regs_[i] = proposals_[i];
-      me.pc = Local::kTransfer;
-      return;
-
-    case Local::kTransfer: {
-      auto [resp, next] = Erc721Spec::apply(
-          nft_, i,
-          Erc721Op::transfer_from(0, static_cast<AccountId>(i + 1), 0));
-      nft_ = std::move(next);
-      me.pc = Local::kOwnerOf;
-      return;
-    }
-
-    case Local::kOwnerOf: {
-      auto [resp, next] = Erc721Spec::apply(nft_, i, Erc721Op::owner_of(0));
-      nft_ = std::move(next);
-      TS_ASSERT(resp.kind == Response::Kind::kValue);
-      // Destination accounts are 1..k for participants 0..k-1; the token
-      // has necessarily moved by the time any participant reaches this
-      // line after a failed transfer, and stays with the winner forever.
-      TS_ASSERT(resp.value >= 1);
-      me.reg_to_read = static_cast<ProcessId>(resp.value - 1);
-      me.pc = Local::kReadReg;
-      return;
-    }
-
-    case Local::kReadReg: {
-      const auto& r = regs_[me.reg_to_read];
-      me.decided = r ? Decision{false, *r} : Decision{true, 0};
-      me.pc = Local::kDone;
-      return;
-    }
-
-    case Local::kDone:
-      TS_ASSERT(false);
-  }
+std::optional<ProcessId> Erc721RaceSpec::probe_winner(const Erc721State& q,
+                                                      std::size_t /*j*/) const {
+  auto [resp, next] = Erc721Spec::apply(q, /*caller=*/0, Erc721Op::owner_of(0));
+  TS_ASSERT(resp.kind == Response::Kind::kValue);
+  // Destination accounts are 1..k for participants 0..k-1; the token has
+  // necessarily moved by the time any participant probes after its own
+  // race step, and it stays with the winner forever.  Value 0 (token
+  // still at the shared account) can only be observed by a buggy spec or
+  // schedule; returning nullopt lets the machine re-probe.
+  if (resp.value == 0) return std::nullopt;
+  return static_cast<ProcessId>(resp.value - 1);
 }
 
-std::optional<Decision> Erc721ConsensusConfig::decision(ProcessId i) const {
-  if (locals_.at(i).pc != Local::kDone) return std::nullopt;
-  return locals_[i].decided;
+std::string Erc721RaceSpec::try_win_name(ProcessId i) const {
+  return Erc721Op::transfer_from(0, static_cast<AccountId>(i + 1), 0)
+      .to_string();
 }
 
-std::size_t Erc721ConsensusConfig::hash() const noexcept {
-  std::size_t seed = nft_.hash();
-  for (const auto& r : regs_) hash_combine(seed, r ? *r + 1 : 0);
-  for (const auto& l : locals_) {
-    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
-                           (static_cast<std::uint64_t>(l.reg_to_read) << 8) |
-                           (static_cast<std::uint64_t>(l.decided.value)
-                            << 24));
-  }
-  return seed;
-}
-
-std::string Erc721ConsensusConfig::next_op_name(ProcessId i) const {
-  const Local& me = locals_.at(i);
-  std::ostringstream os;
-  os << "p" << i << ": ";
-  switch (me.pc) {
-    case Local::kWrite:
-      os << "R[" << i << "].write(" << proposals_[i] << ")";
-      break;
-    case Local::kTransfer:
-      os << Erc721Op::transfer_from(0, static_cast<AccountId>(i + 1), 0)
-                .to_string();
-      break;
-    case Local::kOwnerOf:
-      os << Erc721Op::owner_of(0).to_string();
-      break;
-    case Local::kReadReg:
-      os << "R[" << me.reg_to_read << "].read()";
-      break;
-    case Local::kDone:
-      os << "(decided)";
-      break;
-  }
-  return os.str();
+std::string Erc721RaceSpec::probe_name(std::size_t /*j*/) const {
+  return Erc721Op::owner_of(0).to_string();
 }
 
 }  // namespace tokensync

@@ -6,64 +6,58 @@
 //  approved to spend; the winner of this race can then be determined by
 //  invoking ownerOf."
 //
-// Setup: one NFT (tokenId 0) owned by process 0's account; every other
-// participant is an *operator* for that account (k processes may spend).
-//
-//   propose(v) for p_i:
-//     R[i].write(v)
-//     T.transferFrom(a_0, dest_i, token0)   // only the first succeeds
-//     o = T.ownerOf(token0)                 // o == dest of the winner
-//     return R[index of winner].read()
-//
 // transferFrom of an NFT is a natural "sticky" race: after the first
 // success the token no longer belongs to a_0, so all later attempts fail,
 // and ownerOf names the winner's (distinct, private) destination account.
+//
+// The step machine lives once in core/token_race_consensus.h; this file
+// only adapts the ERC721 object to the TokenRaceSpec contract:
+//
+//   try_win(i)       T.transferFrom(a_0, dest_i, token0)
+//   probe_winner(0)  T.ownerOf(token0)  ⇒  winner = owner − 1
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "common/ids.h"
+#include "core/token_race_consensus.h"
 #include "objects/erc721.h"
+#include "objects/token_race.h"
 #include "sched/protocol.h"
 
 namespace tokensync {
 
-/// Explorable configuration of the ERC721 consensus protocol.
-class Erc721ConsensusConfig {
- public:
-  /// k participants, n = k+1 accounts: account 0 holds the NFT; account
-  /// i+1 is p_i's private destination.
-  Erc721ConsensusConfig(std::size_t k, std::vector<Amount> proposals);
+/// TokenRaceSpec adapter over the ERC721 object (Sec. 6).
+struct Erc721RaceSpec {
+  using State = Erc721State;
 
-  std::size_t num_processes() const noexcept { return proposals_.size(); }
-  bool enabled(ProcessId i) const;
-  void step(ProcessId i);
-  std::optional<Decision> decision(ProcessId i) const;
-  std::size_t hash() const noexcept;
-  std::string next_op_name(ProcessId i) const;
+  /// n = k+1 accounts: token 0 lives in account 0 (owned by process 0),
+  /// every other participant is an *operator* for account 0 — the Sec. 6
+  /// "replace approved spenders with operators" move.
+  State make_race(std::size_t k) const;
 
-  std::size_t max_own_steps() const noexcept { return 4; }
+  /// One race step: transferFrom(a_0 → dest_i, token 0).
+  void try_win(State& q, ProcessId i) const;
 
-  friend bool operator==(const Erc721ConsensusConfig&,
-                         const Erc721ConsensusConfig&) = default;
+  /// Single probe: ownerOf(token 0) names the winner's destination.
+  std::optional<ProcessId> probe_winner(const State& q, std::size_t j) const;
 
- private:
-  struct Local {
-    enum Pc : std::uint8_t { kWrite, kTransfer, kOwnerOf, kReadReg, kDone };
-    Pc pc = kWrite;
-    ProcessId reg_to_read = 0;
-    Decision decided;
-    friend bool operator==(const Local&, const Local&) = default;
-  };
+  /// ownerOf decides in ONE read — the NFT advantage over balance scans.
+  std::size_t num_probes(std::size_t /*k*/) const noexcept { return 1; }
 
-  Erc721State nft_;
-  std::vector<Amount> proposals_;
-  std::vector<std::optional<Amount>> regs_;
-  std::vector<Local> locals_;
+  std::string try_win_name(ProcessId i) const;
+  std::string probe_name(std::size_t j) const;
+
+  friend bool operator==(const Erc721RaceSpec&,
+                         const Erc721RaceSpec&) = default;
 };
+
+static_assert(TokenRaceSpec<Erc721RaceSpec>);
+
+/// Explorable configuration of the ERC721 consensus protocol.
+using Erc721ConsensusConfig = TokenRaceConsensus<Erc721RaceSpec>;
 
 static_assert(ProtocolConfig<Erc721ConsensusConfig>);
 

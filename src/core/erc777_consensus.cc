@@ -1,123 +1,43 @@
 #include "core/erc777_consensus.h"
 
-#include <sstream>
-
 #include "common/error.h"
-#include "common/hash.h"
 
 namespace tokensync {
 
-Erc777ConsensusConfig::Erc777ConsensusConfig(std::size_t k, Amount balance,
-                                             std::vector<Amount> proposals)
-    : balance_(balance), proposals_(std::move(proposals)) {
+Erc777State Erc777RaceSpec::make_race(std::size_t k) const {
   TS_EXPECTS(k >= 1);
   TS_EXPECTS(balance >= 1);
-  TS_EXPECTS(proposals_.size() == k);
-  token_ = Erc777State(k + 1, /*deployer=*/0, balance);
-  for (ProcessId p = 1; p < k; ++p) token_.set_operator(0, p, true);
-  regs_.assign(k, std::nullopt);
-  locals_.assign(k, Local{});
+  Erc777State q(k + 1, /*deployer=*/0, balance);
+  for (ProcessId p = 1; p < k; ++p) q.set_operator(0, p, true);
+  return q;
 }
 
-bool Erc777ConsensusConfig::enabled(ProcessId i) const {
-  return i < locals_.size() && locals_[i].pc != Local::kDone;
+void Erc777RaceSpec::try_win(Erc777State& q, ProcessId i) const {
+  const AccountId dest = static_cast<AccountId>(i + 1);
+  const Erc777Op op = (i == 0) ? Erc777Op::send(dest, balance)
+                               : Erc777Op::operator_send(0, dest, balance);
+  auto [resp, next] = Erc777Spec::apply(q, i, op);
+  q = std::move(next);
 }
 
-void Erc777ConsensusConfig::step(ProcessId i) {
-  TS_EXPECTS(enabled(i));
-  Local& me = locals_[i];
-
-  switch (me.pc) {
-    case Local::kWrite:
-      regs_[i] = proposals_[i];
-      me.pc = Local::kSend;
-      return;
-
-    case Local::kSend: {
-      const AccountId dest = static_cast<AccountId>(i + 1);
-      const Erc777Op op = (i == 0)
-                              ? Erc777Op::send(dest, balance_)
-                              : Erc777Op::operator_send(0, dest, balance_);
-      auto [resp, next] = Erc777Spec::apply(token_, i, op);
-      token_ = std::move(next);
-      me.pc = Local::kScan;
-      me.scan = 0;
-      return;
-    }
-
-    case Local::kScan: {
-      auto [resp, next] = Erc777Spec::apply(
-          token_, i,
-          Erc777Op::balance_of(static_cast<AccountId>(me.scan + 1)));
-      token_ = std::move(next);
-      TS_ASSERT(resp.kind == Response::Kind::kValue);
-      if (resp.value > 0) {
-        me.reg_to_read = me.scan;
-        me.pc = Local::kReadReg;
-        return;
-      }
-      ++me.scan;
-      if (me.scan >= num_processes()) me.scan = 0;  // defensive wrap
-      return;
-    }
-
-    case Local::kReadReg: {
-      const auto& r = regs_[me.reg_to_read];
-      me.decided = r ? Decision{false, *r} : Decision{true, 0};
-      me.pc = Local::kDone;
-      return;
-    }
-
-    case Local::kDone:
-      TS_ASSERT(false);
-  }
+std::optional<ProcessId> Erc777RaceSpec::probe_winner(const Erc777State& q,
+                                                      std::size_t j) const {
+  auto [resp, next] =
+      Erc777Spec::apply(q, /*caller=*/0,
+                        Erc777Op::balance_of(static_cast<AccountId>(j + 1)));
+  TS_ASSERT(resp.kind == Response::Kind::kValue);
+  if (resp.value > 0) return static_cast<ProcessId>(j);
+  return std::nullopt;
 }
 
-std::optional<Decision> Erc777ConsensusConfig::decision(ProcessId i) const {
-  if (locals_.at(i).pc != Local::kDone) return std::nullopt;
-  return locals_[i].decided;
+std::string Erc777RaceSpec::try_win_name(ProcessId i) const {
+  const AccountId dest = static_cast<AccountId>(i + 1);
+  return (i == 0) ? Erc777Op::send(dest, balance).to_string()
+                  : Erc777Op::operator_send(0, dest, balance).to_string();
 }
 
-std::size_t Erc777ConsensusConfig::hash() const noexcept {
-  std::size_t seed = token_.hash();
-  for (const auto& r : regs_) hash_combine(seed, r ? *r + 1 : 0);
-  for (const auto& l : locals_) {
-    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
-                           (static_cast<std::uint64_t>(l.scan) << 8) |
-                           (static_cast<std::uint64_t>(l.reg_to_read) << 24) |
-                           (static_cast<std::uint64_t>(l.decided.value)
-                            << 40));
-  }
-  return seed;
-}
-
-std::string Erc777ConsensusConfig::next_op_name(ProcessId i) const {
-  const Local& me = locals_.at(i);
-  std::ostringstream os;
-  os << "p" << i << ": ";
-  switch (me.pc) {
-    case Local::kWrite:
-      os << "R[" << i << "].write(" << proposals_[i] << ")";
-      break;
-    case Local::kSend: {
-      const AccountId dest = static_cast<AccountId>(i + 1);
-      os << ((i == 0) ? Erc777Op::send(dest, balance_).to_string()
-                      : Erc777Op::operator_send(0, dest, balance_)
-                            .to_string());
-      break;
-    }
-    case Local::kScan:
-      os << Erc777Op::balance_of(static_cast<AccountId>(me.scan + 1))
-                .to_string();
-      break;
-    case Local::kReadReg:
-      os << "R[" << me.reg_to_read << "].read()";
-      break;
-    case Local::kDone:
-      os << "(decided)";
-      break;
-  }
-  return os.str();
+std::string Erc777RaceSpec::probe_name(std::size_t j) const {
+  return Erc777Op::balance_of(static_cast<AccountId>(j + 1)).to_string();
 }
 
 }  // namespace tokensync

@@ -7,61 +7,65 @@
 // winner is the unique destination with a positive balance (the k-AT
 // construction's detection, which the operator mechanism makes available).
 //
-//   propose(v) for p_i:
-//     R[i].write(v)
-//     if i == 0: T.send(dest_0, B) else T.operatorSend(a_0, dest_i, B)
-//     for j in 0..k-1:
-//       if T.balanceOf(dest_j) > 0: return R[j].read()
+// The step machine lives once in core/token_race_consensus.h; this file
+// only adapts the ERC777 object to the TokenRaceSpec contract:
+//
+//   try_win(i)       i == 0 ? T.send(dest_0, B)
+//                           : T.operatorSend(a_0, dest_i, B)
+//   probe_winner(j)  T.balanceOf(dest_{j+1}) > 0  ⇒  winner j
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "core/token_race_consensus.h"
 #include "objects/erc777.h"
+#include "objects/token_race.h"
 #include "sched/protocol.h"
 
 namespace tokensync {
 
-/// Explorable configuration of the ERC777 consensus protocol.
-class Erc777ConsensusConfig {
+/// TokenRaceSpec adapter over the ERC777 object (Sec. 6).  The race
+/// balance B is per-instance data (specs are values).
+struct Erc777RaceSpec {
+  using State = Erc777State;
+
+  Amount balance = 1;
+
+  /// Account 0 holds `balance`; every non-owner participant is an
+  /// authorized operator for it; account i+1 is p_i's destination.
+  State make_race(std::size_t k) const;
+
+  /// One race step: drain the full balance to one's own destination —
+  /// sticky because the first success empties the shared account.
+  void try_win(State& q, ProcessId i) const;
+
+  /// Probe j: balanceOf(dest_{j+1}); the winner's destination is funded.
+  std::optional<ProcessId> probe_winner(const State& q, std::size_t j) const;
+
+  std::size_t num_probes(std::size_t k) const noexcept { return k; }
+
+  std::string try_win_name(ProcessId i) const;
+  std::string probe_name(std::size_t j) const;
+
+  friend bool operator==(const Erc777RaceSpec&,
+                         const Erc777RaceSpec&) = default;
+};
+
+static_assert(TokenRaceSpec<Erc777RaceSpec>);
+
+/// Explorable configuration of the ERC777 consensus protocol.  Keeps the
+/// seed's (k, balance, proposals) constructor on top of the generic core.
+class Erc777ConsensusConfig : public TokenRaceConsensus<Erc777RaceSpec> {
  public:
-  /// k participants; account 0 holds `balance`, every non-owner participant
-  /// is an authorized operator for it; account i+1 is p_i's destination.
   Erc777ConsensusConfig(std::size_t k, Amount balance,
-                        std::vector<Amount> proposals);
-
-  std::size_t num_processes() const noexcept { return proposals_.size(); }
-  bool enabled(ProcessId i) const;
-  void step(ProcessId i);
-  std::optional<Decision> decision(ProcessId i) const;
-  std::size_t hash() const noexcept;
-  std::string next_op_name(ProcessId i) const;
-
-  std::size_t max_own_steps() const noexcept {
-    return 2 + 2 * num_processes();
-  }
-
-  friend bool operator==(const Erc777ConsensusConfig&,
-                         const Erc777ConsensusConfig&) = default;
-
- private:
-  struct Local {
-    enum Pc : std::uint8_t { kWrite, kSend, kScan, kReadReg, kDone };
-    Pc pc = kWrite;
-    ProcessId scan = 0;
-    ProcessId reg_to_read = 0;
-    Decision decided;
-    friend bool operator==(const Local&, const Local&) = default;
-  };
-
-  Erc777State token_;
-  Amount balance_ = 0;
-  std::vector<Amount> proposals_;
-  std::vector<std::optional<Amount>> regs_;
-  std::vector<Local> locals_;
+                        std::vector<Amount> proposals)
+      : TokenRaceConsensus<Erc777RaceSpec>(k, std::move(proposals),
+                                           Erc777RaceSpec{balance}) {}
 };
 
 static_assert(ProtocolConfig<Erc777ConsensusConfig>);

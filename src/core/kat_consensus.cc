@@ -1,18 +1,13 @@
 #include "core/kat_consensus.h"
 
-#include <sstream>
+#include <vector>
 
 #include "common/error.h"
-#include "common/hash.h"
 
 namespace tokensync {
 
-KatConsensusConfig::KatConsensusConfig(std::size_t k,
-                                       std::vector<Amount> proposals)
-    : proposals_(std::move(proposals)) {
+AtState KatRaceSpec::make_race(std::size_t k) const {
   TS_EXPECTS(k >= 1);
-  TS_EXPECTS(proposals_.size() == k);
-  // Account 0: shared, balance 1.  Accounts 1..k: private destinations.
   std::vector<Amount> balances(k + 1, 0);
   balances[0] = 1;
   std::vector<std::vector<ProcessId>> owners(k + 1);
@@ -20,104 +15,31 @@ KatConsensusConfig::KatConsensusConfig(std::size_t k,
     owners[0].push_back(p);
     owners[p + 1] = {p};
   }
-  kat_ = AtState(std::move(balances), std::move(owners));
-  regs_.assign(k, std::nullopt);
-  locals_.assign(k, Local{});
+  return AtState(std::move(balances), std::move(owners));
 }
 
-bool KatConsensusConfig::enabled(ProcessId i) const {
-  return i < locals_.size() && locals_[i].pc != Local::kDone;
+void KatRaceSpec::try_win(AtState& q, ProcessId i) const {
+  auto [resp, next] = AtSpec::apply(
+      q, i, AtOp::transfer(0, static_cast<AccountId>(i + 1), 1));
+  q = std::move(next);
 }
 
-void KatConsensusConfig::step(ProcessId i) {
-  TS_EXPECTS(enabled(i));
-  Local& me = locals_[i];
-
-  switch (me.pc) {
-    case Local::kWrite:
-      regs_[i] = proposals_[i];
-      me.pc = Local::kTransfer;
-      return;
-
-    case Local::kTransfer: {
-      auto [resp, next] = AtSpec::apply(
-          kat_, i, AtOp::transfer(0, static_cast<AccountId>(i + 1), 1));
-      kat_ = std::move(next);
-      me.pc = Local::kScan;
-      me.scan = 0;
-      return;
-    }
-
-    case Local::kScan: {
-      auto [resp, next] = AtSpec::apply(
-          kat_, i, AtOp::balance_of(static_cast<AccountId>(me.scan + 1)));
-      kat_ = std::move(next);
-      TS_ASSERT(resp.kind == Response::Kind::kValue);
-      if (resp.value == 1) {
-        me.reg_to_read = me.scan;
-        me.pc = Local::kReadReg;
-        return;
-      }
-      ++me.scan;
-      // The scan is guaranteed to find the winner before exhausting the
-      // destinations (someone's transfer succeeded before ours failed);
-      // defensive wrap keeps the config total anyway.
-      if (me.scan >= num_processes()) me.scan = 0;
-      return;
-    }
-
-    case Local::kReadReg: {
-      const auto& r = regs_[me.reg_to_read];
-      me.decided = r ? Decision{false, *r} : Decision{true, 0};
-      me.pc = Local::kDone;
-      return;
-    }
-
-    case Local::kDone:
-      TS_ASSERT(false);
-  }
+std::optional<ProcessId> KatRaceSpec::probe_winner(const AtState& q,
+                                                   std::size_t j) const {
+  auto [resp, next] =
+      AtSpec::apply(q, /*caller=*/0,
+                    AtOp::balance_of(static_cast<AccountId>(j + 1)));
+  TS_ASSERT(resp.kind == Response::Kind::kValue);
+  if (resp.value == 1) return static_cast<ProcessId>(j);
+  return std::nullopt;
 }
 
-std::optional<Decision> KatConsensusConfig::decision(ProcessId i) const {
-  if (locals_.at(i).pc != Local::kDone) return std::nullopt;
-  return locals_[i].decided;
+std::string KatRaceSpec::try_win_name(ProcessId i) const {
+  return AtOp::transfer(0, static_cast<AccountId>(i + 1), 1).to_string();
 }
 
-std::size_t KatConsensusConfig::hash() const noexcept {
-  std::size_t seed = kat_.hash();
-  for (const auto& r : regs_) hash_combine(seed, r ? *r + 1 : 0);
-  for (const auto& l : locals_) {
-    hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
-                           (static_cast<std::uint64_t>(l.scan) << 8) |
-                           (static_cast<std::uint64_t>(l.reg_to_read) << 24) |
-                           (static_cast<std::uint64_t>(l.decided.value)
-                            << 40));
-  }
-  return seed;
-}
-
-std::string KatConsensusConfig::next_op_name(ProcessId i) const {
-  const Local& me = locals_.at(i);
-  std::ostringstream os;
-  os << "p" << i << ": ";
-  switch (me.pc) {
-    case Local::kWrite:
-      os << "R[" << i << "].write(" << proposals_[i] << ")";
-      break;
-    case Local::kTransfer:
-      os << AtOp::transfer(0, static_cast<AccountId>(i + 1), 1).to_string();
-      break;
-    case Local::kScan:
-      os << AtOp::balance_of(static_cast<AccountId>(me.scan + 1)).to_string();
-      break;
-    case Local::kReadReg:
-      os << "R[" << me.reg_to_read << "].read()";
-      break;
-    case Local::kDone:
-      os << "(decided)";
-      break;
-  }
-  return os.str();
+std::string KatRaceSpec::probe_name(std::size_t j) const {
+  return AtOp::balance_of(static_cast<AccountId>(j + 1)).to_string();
 }
 
 }  // namespace tokensync

@@ -4,64 +4,56 @@
 //
 // Construction: one account shared by all k processes holding balance 1,
 // plus one private destination account per process and k atomic registers.
+// Only one transfer out of the shared account ever succeeds (the sticky
+// race), and the winner is found by scanning destination balances.
 //
-//   propose(v) for p_i:
-//     R[i].write(v)
-//     kAT.transfer(shared, dest_i, 1)      // only one such transfer wins
-//     for j in 0..k-1:
-//       if kAT.balanceOf(dest_j) == 1: return R[j].read()
+// The step machine lives once in core/token_race_consensus.h; this file
+// only adapts the asset-transfer object to the TokenRaceSpec contract:
 //
-// The scan always finds a winner: p_i scans only after its own attempt, and
-// if that failed some earlier transfer must already have succeeded.
+//   try_win(i)       kAT.transfer(shared, dest_i, 1)
+//   probe_winner(j)  kAT.balanceOf(dest_{j+1}) == 1  ⇒  winner j
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "common/ids.h"
+#include "core/token_race_consensus.h"
 #include "objects/asset_transfer.h"
+#include "objects/token_race.h"
 #include "sched/protocol.h"
 
 namespace tokensync {
 
-/// Explorable configuration of the k-AT consensus protocol.
-class KatConsensusConfig {
- public:
-  /// k processes 0..k-1; account 0 is the shared account (balance 1,
-  /// μ = all k processes); account i+1 is p_i's private destination.
-  KatConsensusConfig(std::size_t k, std::vector<Amount> proposals);
+/// TokenRaceSpec adapter over the k-AT object (Definition 1).
+struct KatRaceSpec {
+  using State = AtState;
 
-  std::size_t num_processes() const noexcept { return proposals_.size(); }
-  bool enabled(ProcessId i) const;
-  void step(ProcessId i);
-  std::optional<Decision> decision(ProcessId i) const;
-  std::size_t hash() const noexcept;
-  std::string next_op_name(ProcessId i) const;
+  /// Account 0: shared, balance 1, μ = all k processes; accounts 1..k:
+  /// private destinations.
+  State make_race(std::size_t k) const;
 
-  std::size_t max_own_steps() const noexcept {
-    return 2 + 2 * num_processes();
-  }
+  /// One race step: transfer(shared → dest_i, 1); sticky because the
+  /// shared balance is 1.
+  void try_win(State& q, ProcessId i) const;
 
-  friend bool operator==(const KatConsensusConfig&,
-                         const KatConsensusConfig&) = default;
+  /// Probe j: balanceOf(dest_{j+1}); the winner's destination holds 1.
+  std::optional<ProcessId> probe_winner(const State& q, std::size_t j) const;
 
- private:
-  struct Local {
-    enum Pc : std::uint8_t { kWrite, kTransfer, kScan, kReadReg, kDone };
-    Pc pc = kWrite;
-    ProcessId scan = 0;
-    ProcessId reg_to_read = 0;
-    Decision decided;
-    friend bool operator==(const Local&, const Local&) = default;
-  };
+  std::size_t num_probes(std::size_t k) const noexcept { return k; }
 
-  AtState kat_;
-  std::vector<Amount> proposals_;
-  std::vector<std::optional<Amount>> regs_;
-  std::vector<Local> locals_;
+  std::string try_win_name(ProcessId i) const;
+  std::string probe_name(std::size_t j) const;
+
+  friend bool operator==(const KatRaceSpec&, const KatRaceSpec&) = default;
 };
+
+static_assert(TokenRaceSpec<KatRaceSpec>);
+
+/// Explorable configuration of the k-AT consensus protocol (the seed's
+/// hand-rolled step machine, now an instantiation of the generic core).
+using KatConsensusConfig = TokenRaceConsensus<KatRaceSpec>;
 
 static_assert(ProtocolConfig<KatConsensusConfig>);
 

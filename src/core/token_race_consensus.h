@@ -1,0 +1,174 @@
+// TokenRaceConsensus<Spec> — the ONE step machine behind the paper's
+// token-based consensus protocols (Algorithm 1's shape, Sec. 3–6).
+//
+// Instantiated with a TokenRaceSpec (objects/token_race.h) this yields an
+// explorable ProtocolConfig; kat_consensus.h, erc721_consensus.h and
+// erc777_consensus.h are thin spec adapters over this template.  The
+// machine is the familiar four phases, each step one atomic base-object
+// operation (the granularity the paper's model interleaves):
+//
+//   propose(v) for p_i:
+//     kWrite   R[i].write(v)
+//     kRace    Spec::try_win(q, i)            // the sticky race
+//     kProbe   j := 0, 1, ... until Spec::probe_winner(q, j) names w
+//     kRead    return R[w].read()             // adopt the winner's value
+//
+// Agreement holds because the race is sticky (one winner, forever);
+// validity because the winner wrote its register before racing; and
+// wait-freedom because a full probe pass after one's own try_win is
+// guaranteed to find the winner — max_own_steps() = 3 + num_probes(k)
+// bounds any solo run.  The probe index wraps defensively so the
+// configuration space stays finite even for a (buggy) spec whose probes
+// miss; the explorer's cycle detection then reports the wait-freedom
+// violation instead of diverging.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/ids.h"
+#include "objects/token_race.h"
+#include "sched/protocol.h"
+
+namespace tokensync {
+
+/// Explorable configuration of the generic token-race consensus protocol.
+template <TokenRaceSpec Spec>
+class TokenRaceConsensus {
+ public:
+  /// k participants proposing `proposals`; the spec sets up the shared
+  /// race account (account 0) and private destinations (accounts 1..k).
+  explicit TokenRaceConsensus(std::size_t k, std::vector<Amount> proposals,
+                              Spec spec = Spec{})
+      : spec_(std::move(spec)), proposals_(std::move(proposals)) {
+    TS_EXPECTS(k >= 1);
+    TS_EXPECTS(proposals_.size() == k);
+    state_ = spec_.make_race(k);
+    regs_.assign(k, std::nullopt);
+    locals_.assign(k, Local{});
+  }
+
+  std::size_t num_processes() const noexcept { return proposals_.size(); }
+
+  bool enabled(ProcessId i) const {
+    return i < locals_.size() && locals_[i].pc != Local::kDone;
+  }
+
+  void step(ProcessId i) {
+    TS_EXPECTS(enabled(i));
+    Local& me = locals_[i];
+
+    switch (me.pc) {
+      case Local::kWrite:
+        regs_[i] = proposals_[i];
+        me.pc = Local::kRace;
+        return;
+
+      case Local::kRace:
+        spec_.try_win(state_, i);
+        me.pc = Local::kProbe;
+        me.probe = 0;
+        return;
+
+      case Local::kProbe: {
+        if (const auto w = spec_.probe_winner(state_, me.probe)) {
+          TS_ASSERT(*w < num_processes());
+          me.reg_to_read = *w;
+          me.pc = Local::kRead;
+          return;
+        }
+        ++me.probe;
+        // A pass that starts after our own try_win always finds the
+        // winner; the wrap keeps the configuration space finite anyway.
+        if (me.probe >= spec_.num_probes(num_processes())) me.probe = 0;
+        return;
+      }
+
+      case Local::kRead: {
+        const auto& r = regs_[me.reg_to_read];
+        me.decided = r ? Decision{false, *r} : Decision{true, 0};
+        me.pc = Local::kDone;
+        return;
+      }
+
+      case Local::kDone:
+        TS_ASSERT(false);
+    }
+  }
+
+  std::optional<Decision> decision(ProcessId i) const {
+    if (locals_.at(i).pc != Local::kDone) return std::nullopt;
+    return locals_[i].decided;
+  }
+
+  std::size_t hash() const noexcept {
+    std::size_t seed = state_.hash();
+    for (const auto& r : regs_) hash_combine(seed, r ? *r + 1 : 0);
+    for (const auto& l : locals_) {
+      hash_combine(seed, static_cast<std::uint64_t>(l.pc) |
+                             (static_cast<std::uint64_t>(l.probe) << 8) |
+                             (static_cast<std::uint64_t>(l.reg_to_read)
+                              << 24) |
+                             (static_cast<std::uint64_t>(l.decided.value)
+                              << 40));
+    }
+    return seed;
+  }
+
+  std::string next_op_name(ProcessId i) const {
+    const Local& me = locals_.at(i);
+    std::string op;
+    switch (me.pc) {
+      case Local::kWrite:
+        op = "R[" + std::to_string(i) + "].write(" +
+             std::to_string(proposals_[i]) + ")";
+        break;
+      case Local::kRace:
+        op = spec_.try_win_name(i);
+        break;
+      case Local::kProbe:
+        op = spec_.probe_name(me.probe);
+        break;
+      case Local::kRead:
+        op = "R[" + std::to_string(me.reg_to_read) + "].read()";
+        break;
+      case Local::kDone:
+        op = "(decided)";
+        break;
+    }
+    return "p" + std::to_string(i) + ": " + op;
+  }
+
+  /// Solo wait-freedom bound: write + race + one full probe pass + read.
+  std::size_t max_own_steps() const noexcept {
+    return 3 + spec_.num_probes(num_processes());
+  }
+
+  const Spec& spec() const noexcept { return spec_; }
+
+  friend bool operator==(const TokenRaceConsensus&,
+                         const TokenRaceConsensus&) = default;
+
+ private:
+  struct Local {
+    enum Pc : std::uint8_t { kWrite, kRace, kProbe, kRead, kDone };
+    Pc pc = kWrite;
+    std::size_t probe = 0;
+    ProcessId reg_to_read = 0;
+    Decision decided;
+    friend bool operator==(const Local&, const Local&) = default;
+  };
+
+  Spec spec_;
+  typename Spec::State state_;
+  std::vector<Amount> proposals_;
+  std::vector<std::optional<Amount>> regs_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace tokensync

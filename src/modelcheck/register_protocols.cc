@@ -1,11 +1,40 @@
 #include "modelcheck/register_protocols.h"
 
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "common/hash.h"
+#include "core/erc721_consensus.h"
+#include "core/erc777_consensus.h"
+#include "core/kat_consensus.h"
 
 namespace tokensync {
+
+// ---------------------------------------------------------------------------
+// Token-race registry — the generic registration path.  Adding a token
+// spec to the model checker is ONE entry here.
+// ---------------------------------------------------------------------------
+const std::vector<TokenRaceProtocol>& token_race_protocols() {
+  static const std::vector<TokenRaceProtocol> kProtocols = [] {
+    std::vector<TokenRaceProtocol> ps;
+    ps.push_back(make_token_race_protocol<KatConsensusConfig>(
+        "k-AT", [](std::size_t k, std::vector<Amount> proposals) {
+          return KatConsensusConfig(k, std::move(proposals));
+        }));
+    ps.push_back(make_token_race_protocol<Erc721ConsensusConfig>(
+        "ERC721", [](std::size_t k, std::vector<Amount> proposals) {
+          return Erc721ConsensusConfig(k, std::move(proposals));
+        }));
+    ps.push_back(make_token_race_protocol<Erc777ConsensusConfig>(
+        "ERC777", [](std::size_t k, std::vector<Amount> proposals) {
+          return Erc777ConsensusConfig(k, /*balance=*/7,
+                                       std::move(proposals));
+        }));
+    return ps;
+  }();
+  return kProtocols;
+}
 
 NaiveRegisterConsensus::NaiveRegisterConsensus(Amount v0, Amount v1)
     : proposals_{v0, v1} {}

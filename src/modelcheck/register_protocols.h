@@ -1,27 +1,94 @@
-// Register-only consensus attempts — context for CN(register) = 1.
+// Protocol registration for the model checker.
 //
-// FLP and Herlihy's hierarchy (paper Sec. 3.1) say no wait-free consensus
-// for 2 processes exists from atomic registers.  A universal quantification
-// over protocols cannot be model-checked, but the two canonical *attempts*
-// below exhibit the two possible failure modes, which the explorer finds
-// automatically (experiment E7):
+// Two families live here:
 //
-//  * NaiveRegisterConsensus — "write own, read other, adopt if present":
-//    both processes can adopt each other's value and disagree.
-//  * TurnRegisterConsensus — "steal the turn register until it is yours":
-//    an alternating schedule flips the turn forever (configuration cycle:
-//    wait-freedom violation), and a decide-then-steal schedule violates
-//    agreement.
+//  1. The token-race family (the paper's constructive side).  Every
+//     TokenRaceSpec instantiation of TokenRaceConsensus<Spec> is
+//     registered once, by name, behind a uniform type-erased interface —
+//     the GENERIC REGISTRATION PATH: tests, benches and future scenario
+//     sweeps iterate token_race_protocols() instead of naming concrete
+//     config types, so a new token spec becomes a model-checking target
+//     by adding one registry line.
+//
+//  2. Register-only consensus attempts — context for CN(register) = 1.
+//     FLP and Herlihy's hierarchy (paper Sec. 3.1) say no wait-free
+//     consensus for 2 processes exists from atomic registers.  A
+//     universal quantification over protocols cannot be model-checked,
+//     but the two canonical *attempts* below exhibit the two possible
+//     failure modes, which the explorer finds automatically (E7):
+//
+//     * NaiveRegisterConsensus — "write own, read other, adopt if
+//       present": both processes can adopt each other's value and
+//       disagree.
+//     * TurnRegisterConsensus — "steal the turn register until it is
+//       yours": an alternating schedule flips the turn forever
+//       (configuration cycle: wait-freedom violation), and a
+//       decide-then-steal schedule violates agreement.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
+#include "modelcheck/explorer.h"
 #include "sched/protocol.h"
+#include "sched/scheduler.h"
 
 namespace tokensync {
+
+/// Type-erased handle to one registered token-race consensus protocol.
+struct TokenRaceProtocol {
+  std::string name;
+
+  /// Exhaustive exploration of all interleavings for k participants.
+  std::function<ExploreResult(std::size_t k,
+                              const std::vector<Amount>& proposals,
+                              bool check_solo)>
+      explore;
+
+  /// One randomly scheduled run with per-process crash budgets.
+  std::function<RunResult(std::size_t k,
+                          const std::vector<Amount>& proposals, Rng& rng,
+                          std::vector<std::size_t> crash_budgets)>
+      run_random;
+
+  /// The protocol's solo wait-freedom bound for k participants.
+  std::function<std::size_t(std::size_t k)> max_own_steps;
+};
+
+/// All registered token-race protocols (k-AT, ERC721, ERC777, ...).
+/// The registry is built once; entries are stateless and reusable.
+const std::vector<TokenRaceProtocol>& token_race_protocols();
+
+/// Registry construction helper: wraps a concrete TokenRaceConsensus
+/// instantiation behind the type-erased interface.  `make(k, proposals)`
+/// builds the configuration (closing over any per-protocol spec
+/// parameters, e.g. the ERC777 race balance).
+template <BoundedProtocolConfig C, typename Make>
+TokenRaceProtocol make_token_race_protocol(std::string name, Make make) {
+  TokenRaceProtocol p;
+  p.name = std::move(name);
+  p.explore = [make](std::size_t k, const std::vector<Amount>& proposals,
+                     bool check_solo) {
+    C cfg = make(k, proposals);
+    return explore_all(cfg, proposals, cfg.max_own_steps(), check_solo);
+  };
+  p.run_random = [make](std::size_t k,
+                        const std::vector<Amount>& proposals, Rng& rng,
+                        std::vector<std::size_t> budgets) {
+    C cfg = make(k, proposals);
+    return run_random(cfg, rng, std::move(budgets));
+  };
+  p.max_own_steps = [make](std::size_t k) {
+    const std::vector<Amount> proposals(k, 0);
+    return make(k, proposals).max_own_steps();
+  };
+  return p;
+}
 
 /// Two processes; R[i].write(v_i) then R[1-i].read(); adopt the other's
 /// value if present, else decide own.

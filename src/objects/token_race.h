@@ -1,0 +1,75 @@
+// TokenRaceSpec — the object-layer contract behind Algorithm 1 and its
+// Sec. 6 adaptations (the tentpole abstraction of this codebase).
+//
+// The paper's central observation is that one synchronization argument
+// covers the whole token family (k-AT, ERC20's transferFrom, ERC721,
+// ERC777): consensus power comes from a *sticky race* on one shared
+// account, and everything else commutes per-account.  What Algorithm 1
+// actually needs from a token object is exactly three things:
+//
+//   1. make_race(k)        — set up the shared race account: one account
+//                            that all k participants are enabled to spend
+//                            (shared μ-ownership for k-AT, operators for
+//                            ERC721/ERC777, allowances under U for ERC20),
+//                            plus k private destination accounts (account
+//                            i+1 is participant i's destination);
+//   2. try_win(q, i)       — participant i's single-base-object-op race
+//                            step.  STICKY: at most one try_win ever takes
+//                            effect on the race account; every later
+//                            attempt leaves q unchanged.  (transfer for
+//                            k-AT, transferFrom of the NFT for ERC721,
+//                            send/operatorSend of the full balance for
+//                            ERC777.)
+//   3. probe_winner(q, j)  — the winner() read, decomposed into
+//                            single-base-object probes: probe j inspects
+//                            one piece of state (balanceOf(dest_{j+1}),
+//                            ownerOf(tokenId), ...) and names the winner
+//                            if that probe reveals it.  After a
+//                            participant's own try_win, a full pass of
+//                            num_probes(k) probes is guaranteed to find
+//                            the winner (the race is decided by then).
+//
+// Everything else — proposal registers, the step machine, agreement /
+// validity / wait-freedom — is token-independent and lives once in
+// core/token_race_consensus.h.  A new token object joins the family (and
+// instantly gets a consensus protocol, a model-checking target, and a
+// sharded ledger) by supplying a small spec satisfying this concept.
+//
+// Specs are value types (copied with every explored configuration), so
+// per-instance parameters (e.g. the ERC777 race balance) are plain data
+// members and specs must be equality-comparable.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// Concept capturing what Algorithm 1 needs from a token object.
+///
+/// `State` is the token's value-semantic sequential state (hashable and
+/// equality-comparable, so configurations can be memoized by the model
+/// checker).  The two *_name hooks render the pending base-object
+/// operation for counterexample traces (sched/protocol.h's
+/// next_op_name contract).
+template <typename S>
+concept TokenRaceSpec =
+    std::copyable<S> && std::equality_comparable<S> &&
+    requires(const S s, typename S::State& q, const typename S::State& cq,
+             ProcessId i, std::size_t k, std::size_t j) {
+      typename S::State;
+      { s.make_race(k) } -> std::same_as<typename S::State>;
+      { s.try_win(q, i) };
+      { s.probe_winner(cq, j) } -> std::same_as<std::optional<ProcessId>>;
+      { s.num_probes(k) } -> std::convertible_to<std::size_t>;
+      { s.try_win_name(i) } -> std::convertible_to<std::string>;
+      { s.probe_name(j) } -> std::convertible_to<std::string>;
+      { cq.hash() } -> std::convertible_to<std::size_t>;
+      { cq == cq } -> std::convertible_to<bool>;
+    };
+
+}  // namespace tokensync

@@ -42,4 +42,15 @@ concept ProtocolConfig = std::copyable<C> && requires(C c, const C cc,
   { cc == cc } -> std::convertible_to<bool>;
 };
 
+/// A protocol that additionally knows its own solo wait-freedom bound:
+/// from any reachable configuration, any enabled process run solo decides
+/// within max_own_steps() of its own steps.  The explorer's solo check
+/// and random crash sweeps consume this bound; every token-race protocol
+/// (core/token_race_consensus.h) satisfies it.
+template <typename C>
+concept BoundedProtocolConfig =
+    ProtocolConfig<C> && requires(const C cc) {
+      { cc.max_own_steps() } -> std::convertible_to<std::size_t>;
+    };
+
 }  // namespace tokensync

@@ -1,7 +1,11 @@
 // Experiment E8 — Section 6: consensus from ERC721 (race on one tokenId,
 // winner via ownerOf) and from ERC777 (operators replace approved
-// spenders), exhaustively checked for small k.
+// spenders), exhaustively checked for small k.  Both configs are thin
+// spec adapters over the generic TokenRaceConsensus machine; the family-
+// wide sweep lives in tests/token_race_generic_test.cc.
 #include <gtest/gtest.h>
+
+#include <type_traits>
 
 #include "common/rng.h"
 #include "core/erc721_consensus.h"
@@ -11,6 +15,19 @@
 
 namespace tokensync {
 namespace {
+
+static_assert(std::is_same_v<Erc721ConsensusConfig,
+                             TokenRaceConsensus<Erc721RaceSpec>>);
+static_assert(
+    std::is_base_of_v<TokenRaceConsensus<Erc777RaceSpec>,
+                      Erc777ConsensusConfig>);
+
+// The NFT race decides in a single ownerOf probe — the tightest
+// max_own_steps in the family (write + race + 1 probe + read).
+TEST(Erc721Consensus, SingleProbeBound) {
+  Erc721ConsensusConfig cfg(5, {1, 2, 3, 4, 5});
+  EXPECT_EQ(cfg.max_own_steps(), 4u);
+}
 
 std::vector<Amount> proposals_for(std::size_t k) {
   std::vector<Amount> out;

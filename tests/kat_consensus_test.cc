@@ -1,8 +1,12 @@
 // Experiment E7 — the Guerraoui-et-al. baseline: CN(k-AT) ≥ k via the
-// shared-account race, exhaustively checked; plus the register-only
-// context (CN(register) = 1): canonical register protocols fail in ways
-// the explorer finds automatically.
+// shared-account race, exhaustively checked.  KatConsensusConfig is the
+// KatRaceSpec instantiation of the generic TokenRaceConsensus machine;
+// these tests pin down the k-AT-specific behavior (step counts, scan
+// semantics), while tests/token_race_generic_test.cc sweeps the whole
+// registered family through one loop.
 #include <gtest/gtest.h>
+
+#include <type_traits>
 
 #include "common/rng.h"
 #include "core/kat_consensus.h"
@@ -11,6 +15,10 @@
 
 namespace tokensync {
 namespace {
+
+// The alias really is the generic machine — no residual bespoke type.
+static_assert(std::is_same_v<KatConsensusConfig,
+                             TokenRaceConsensus<KatRaceSpec>>);
 
 std::vector<Amount> proposals_for(std::size_t k) {
   std::vector<Amount> out;

@@ -1,0 +1,257 @@
+// ConcurrentLedger<Spec> semantics: single-threaded equivalence with the
+// sequential specifications (the refactor's "one source of truth"
+// invariant) for all three token instantiations, batch-path correctness,
+// and multi-threaded conservation across the shard spectrum.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "atomic/ledger.h"
+#include "atomic/ledger_specs.h"
+#include "atomic/tokens.h"
+#include "common/rng.h"
+
+namespace tokensync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Single-threaded equivalence: every response and the final state match
+// the pure sequential specification, at several shard counts.
+// ---------------------------------------------------------------------------
+TEST(LedgerEquivalence, Erc20MatchesSeqSpec) {
+  for (std::size_t shards : {1u, 3u, 0u}) {
+    Rng rng(42);
+    const std::size_t n = 5;
+    Erc20State oracle(n, 0, 64);
+    ConcurrentLedger<Erc20LedgerSpec> ledger(oracle, 0, shards);
+
+    for (int i = 0; i < 3000; ++i) {
+      const ProcessId c = static_cast<ProcessId>(rng.below(n));
+      const AccountId a = static_cast<AccountId>(rng.below(n));
+      const AccountId b = static_cast<AccountId>(rng.below(n));
+      Erc20Op op;
+      switch (rng.below(6)) {
+        case 0: op = Erc20Op::transfer(a, rng.below(30)); break;
+        case 1: op = Erc20Op::transfer_from(a, b, rng.below(30)); break;
+        case 2: op = Erc20Op::approve(static_cast<ProcessId>(b),
+                                      rng.below(40)); break;
+        case 3: op = Erc20Op::balance_of(a); break;
+        case 4: op = Erc20Op::allowance(a, static_cast<ProcessId>(b)); break;
+        default: op = Erc20Op::total_supply(); break;
+      }
+      auto [resp, next] = Erc20Spec::apply(oracle, c, op);
+      oracle = next;
+      EXPECT_EQ(ledger.apply(c, op), resp) << "op " << op.to_string();
+    }
+    EXPECT_EQ(ledger.snapshot(), oracle);
+  }
+}
+
+TEST(LedgerEquivalence, Erc721MatchesSeqSpec) {
+  for (std::size_t shards : {1u, 2u, 0u}) {
+    Rng rng(43);
+    const std::size_t n = 4;
+    Erc721State oracle(n, {0, 1, 2, 3, 0, 1});
+    ConcurrentLedger<Erc721LedgerSpec> ledger(oracle, 0, shards);
+
+    for (int i = 0; i < 3000; ++i) {
+      const ProcessId c = static_cast<ProcessId>(rng.below(n));
+      const TokenId t = static_cast<TokenId>(rng.below(6));
+      const AccountId a = static_cast<AccountId>(rng.below(n));
+      const AccountId b = static_cast<AccountId>(rng.below(n));
+      Erc721Op op;
+      switch (rng.below(6)) {
+        case 0: op = Erc721Op::transfer_from(a, b, t); break;
+        case 1: op = Erc721Op::approve(static_cast<ProcessId>(b), t); break;
+        case 2: op = Erc721Op::set_approval_for_all(
+                    static_cast<ProcessId>(b), rng.below(2) == 0); break;
+        case 3: op = Erc721Op::owner_of(t); break;
+        case 4: op = Erc721Op::get_approved(t); break;
+        default: op = Erc721Op::is_approved_for_all(
+                    a, static_cast<ProcessId>(b)); break;
+      }
+      auto [resp, next] = Erc721Spec::apply(oracle, c, op);
+      oracle = next;
+      EXPECT_EQ(ledger.apply(c, op), resp) << "op " << op.to_string();
+    }
+    EXPECT_EQ(ledger.snapshot(), oracle);
+  }
+}
+
+TEST(LedgerEquivalence, Erc777MatchesSeqSpec) {
+  for (std::size_t shards : {1u, 3u, 0u}) {
+    Rng rng(44);
+    const std::size_t n = 5;
+    Erc777State oracle(n, 1, 80);
+    ConcurrentLedger<Erc777LedgerSpec> ledger(oracle, 0, shards);
+
+    for (int i = 0; i < 3000; ++i) {
+      const ProcessId c = static_cast<ProcessId>(rng.below(n));
+      const AccountId a = static_cast<AccountId>(rng.below(n));
+      const AccountId b = static_cast<AccountId>(rng.below(n));
+      Erc777Op op;
+      switch (rng.below(6)) {
+        case 0: op = Erc777Op::send(a, rng.below(25)); break;
+        case 1: op = Erc777Op::operator_send(a, b, rng.below(25)); break;
+        case 2: op = Erc777Op::authorize_operator(
+                    static_cast<ProcessId>(b)); break;
+        case 3: op = Erc777Op::revoke_operator(
+                    static_cast<ProcessId>(b)); break;
+        case 4: op = Erc777Op::balance_of(a); break;
+        default: op = Erc777Op::is_operator_for(
+                    static_cast<ProcessId>(b), a); break;
+      }
+      auto [resp, next] = Erc777Spec::apply(oracle, c, op);
+      oracle = next;
+      EXPECT_EQ(ledger.apply(c, op), resp) << "op " << op.to_string();
+    }
+    EXPECT_EQ(ledger.snapshot(), oracle);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch path: responses equal one-at-a-time application when all ops
+// commute (disjoint σ-groups), and the final state is identical.
+// ---------------------------------------------------------------------------
+TEST(LedgerBatch, DisjointBatchMatchesSequential) {
+  const std::size_t n = 8;
+  std::vector<Amount> balances(n, 100);
+  Erc20State initial(balances, std::vector<std::vector<Amount>>(
+                                   n, std::vector<Amount>(n, 0)));
+
+  ConcurrentLedger<Erc20LedgerSpec> batched(initial, 0, /*num_shards=*/4);
+  ConcurrentLedger<Erc20LedgerSpec> serial(initial, 0, /*num_shards=*/4);
+
+  // Self-transfers within one account: every op single-shard.
+  std::vector<ConcurrentLedger<Erc20LedgerSpec>::BatchOp> batch;
+  for (ProcessId p = 0; p < n; ++p) {
+    batch.push_back({p, Erc20Op::transfer(account_of(p), 10)});
+    batch.push_back({p, Erc20Op::approve(static_cast<ProcessId>((p + 1) % n),
+                                         7)});
+    batch.push_back({p, Erc20Op::balance_of(account_of(p))});
+  }
+  const auto got = batched.apply_batch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i], serial.apply(batch[i].caller, batch[i].op))
+        << "batch index " << i;
+  }
+  EXPECT_EQ(batched.snapshot(), serial.snapshot());
+}
+
+TEST(LedgerBatch, MixedBatchConservesSupplyAndAnswers) {
+  Rng rng(77);
+  const std::size_t n = 16;
+  std::vector<Amount> balances(n, 1000);
+  Erc20State initial(balances, std::vector<std::vector<Amount>>(
+                                   n, std::vector<Amount>(n, 0)));
+  ConcurrentLedger<Erc20LedgerSpec> ledger(initial, 0, /*num_shards=*/4);
+
+  std::vector<ConcurrentLedger<Erc20LedgerSpec>::BatchOp> batch;
+  for (int i = 0; i < 200; ++i) {
+    const ProcessId c = static_cast<ProcessId>(rng.below(n));
+    const AccountId d = static_cast<AccountId>(rng.below(n));
+    // Mix of single-shard (self/same-shard) and cross-shard transfers.
+    batch.push_back({c, Erc20Op::transfer(d, 1 + rng.below(5))});
+  }
+  const auto resp = ledger.apply_batch(batch);
+  ASSERT_EQ(resp.size(), batch.size());
+  for (const auto& r : resp) EXPECT_EQ(r.kind, Response::Kind::kBool);
+  EXPECT_EQ(ledger.weak_sum(), 1000u * n);
+  EXPECT_EQ(ledger.apply(0, Erc20Op::total_supply()).value, 1000u * n);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded conservation for the NEW instantiations, across shard
+// counts (the ERC20 case is covered by the existing ShardedToken test).
+// ---------------------------------------------------------------------------
+class LedgerConservation
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LedgerConservation, Erc777ConservesSupply) {
+  const auto [threads, shards] = GetParam();
+  const std::size_t n = 16;
+  Erc777State initial(n, 0, 0);
+  for (AccountId a = 0; a < n; ++a) initial.set_balance(a, 500);
+  // Everyone may operate for everyone: maximal σ-groups.
+  for (AccountId a = 0; a < n; ++a) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p != a) initial.set_operator(a, p, true);
+    }
+  }
+  ConcurrentLedger<Erc777LedgerSpec> ledger(
+      initial, 0, static_cast<std::size_t>(shards));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      for (int i = 0; i < 5000; ++i) {
+        const ProcessId c = static_cast<ProcessId>(rng.below(n));
+        const AccountId s = static_cast<AccountId>(rng.below(n));
+        const AccountId d = static_cast<AccountId>(rng.below(n));
+        if (rng.below(2) == 0) {
+          ledger.apply(c, Erc777Op::send(d, rng.below(20)));
+        } else {
+          ledger.apply(c, Erc777Op::operator_send(s, d, rng.below(20)));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(ledger.weak_sum(), 500u * n);
+}
+
+TEST_P(LedgerConservation, Erc721ConservesTokenCount) {
+  const auto [threads, shards] = GetParam();
+  const std::size_t n = 8;
+  const std::size_t tokens = 24;
+  std::vector<AccountId> owners(tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    owners[t] = static_cast<AccountId>(t % n);
+  }
+  Erc721State initial(n, owners);
+  for (AccountId a = 0; a < n; ++a) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p != a) initial.set_operator(a, p, true);
+    }
+  }
+  ConcurrentLedger<Erc721LedgerSpec> ledger(
+      initial, 0, static_cast<std::size_t>(shards));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(950 + t);
+      for (int i = 0; i < 5000; ++i) {
+        const ProcessId c = static_cast<ProcessId>(rng.below(n));
+        const TokenId tok = static_cast<TokenId>(rng.below(tokens));
+        const AccountId src = static_cast<AccountId>(rng.below(n));
+        const AccountId dst = static_cast<AccountId>(rng.below(n));
+        switch (rng.below(3)) {
+          case 0:
+            ledger.apply(c, Erc721Op::transfer_from(src, dst, tok));
+            break;
+          case 1:
+            ledger.apply(c, Erc721Op::approve(
+                                static_cast<ProcessId>(dst), tok));
+            break;
+          default:
+            ledger.apply(c, Erc721Op::owner_of(tok));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Every token still has exactly one owner.
+  EXPECT_EQ(ledger.weak_sum(), tokens);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsShards, LedgerConservation,
+    ::testing::Combine(::testing::Values(2, 4),
+                       ::testing::Values(1, 4, 0 /* per-account */)));
+
+}  // namespace
+}  // namespace tokensync

@@ -1,0 +1,106 @@
+// The generic registration path: every token-race protocol in the
+// registry — k-AT, ERC721, ERC777, and whatever joins later — is
+// exhaustively model-checked and crash-swept through ONE loop, without
+// naming any concrete config type.  This is the O(1)-per-new-token
+// scenario growth the TokenRaceSpec refactor buys.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/erc721_consensus.h"
+#include "core/kat_consensus.h"
+#include "core/token_race_consensus.h"
+#include "modelcheck/register_protocols.h"
+#include "sched/scheduler.h"
+
+namespace tokensync {
+namespace {
+
+std::vector<Amount> proposals_for(std::size_t k) {
+  std::vector<Amount> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(900 + i);
+  return out;
+}
+
+TEST(TokenRaceRegistry, HasTheThreePaperProtocols) {
+  const auto& ps = token_race_protocols();
+  ASSERT_GE(ps.size(), 3u);
+  std::vector<std::string> names;
+  for (const auto& p : ps) names.push_back(p.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "k-AT"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ERC721"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ERC777"), names.end());
+}
+
+TEST(TokenRaceRegistry, ExhaustiveAllProtocolsK2K3) {
+  for (const auto& p : token_race_protocols()) {
+    for (std::size_t k : {2u, 3u}) {
+      const auto props = proposals_for(k);
+      const auto res = p.explore(k, props, /*check_solo=*/true);
+      EXPECT_TRUE(res.all_ok()) << p.name << " k=" << k << ": " << res.detail;
+      EXPECT_GT(res.configs_explored, 4u) << p.name;
+    }
+  }
+}
+
+TEST(TokenRaceRegistry, RandomCrashSweepAllProtocols) {
+  for (const auto& p : token_race_protocols()) {
+    Rng rng(17);
+    for (std::size_t k : {2u, 5u, 8u}) {
+      const auto props = proposals_for(k);
+      for (int run = 0; run < 50; ++run) {
+        std::vector<std::size_t> budgets(k, kNeverCrash);
+        for (std::size_t c = 0, m = rng.below(k); c < m; ++c) {
+          budgets[rng.below(k)] = rng.below(p.max_own_steps(k) + 1);
+        }
+        auto res = p.run_random(k, props, rng, budgets);
+        const auto verdict = check_consensus_run(res.decisions, props,
+                                                 budgets);
+        EXPECT_TRUE(verdict.agreement) << p.name << ": " << verdict.detail;
+        EXPECT_TRUE(verdict.validity) << p.name << ": " << verdict.detail;
+        EXPECT_TRUE(verdict.termination) << p.name << ": " << verdict.detail;
+      }
+    }
+  }
+}
+
+// The aliases over the generic template still satisfy the step-bound
+// contract the schedulers rely on.
+static_assert(BoundedProtocolConfig<KatConsensusConfig>);
+static_assert(BoundedProtocolConfig<Erc721ConsensusConfig>);
+
+// A deliberately broken spec: the probe never finds a winner.  The
+// generic machine must stay finite (probe wrap) and the explorer must
+// report the wait-freedom violation rather than diverge — evidence that
+// the template does not smuggle in termination for free.
+struct NoWinnerSpec {
+  using State = AtState;
+  State make_race(std::size_t k) const {
+    return KatRaceSpec{}.make_race(k);
+  }
+  void try_win(State& q, ProcessId i) const { KatRaceSpec{}.try_win(q, i); }
+  std::optional<ProcessId> probe_winner(const State&, std::size_t) const {
+    return std::nullopt;  // blind probe: never names a winner
+  }
+  std::size_t num_probes(std::size_t k) const noexcept { return k; }
+  std::string try_win_name(ProcessId i) const {
+    return KatRaceSpec{}.try_win_name(i);
+  }
+  std::string probe_name(std::size_t j) const {
+    return KatRaceSpec{}.probe_name(j);
+  }
+  friend bool operator==(const NoWinnerSpec&, const NoWinnerSpec&) = default;
+};
+
+static_assert(TokenRaceSpec<NoWinnerSpec>);
+
+TEST(TokenRaceGeneric, BlindProbeSpecFailsWaitFreedomNotTheExplorer) {
+  const std::vector<Amount> props{1, 2};
+  TokenRaceConsensus<NoWinnerSpec> cfg(2, props);
+  const auto res = explore_all(cfg, props, cfg.max_own_steps());
+  EXPECT_TRUE(res.agreement) << res.detail;
+  EXPECT_TRUE(res.validity) << res.detail;
+  EXPECT_FALSE(res.termination);
+}
+
+}  // namespace
+}  // namespace tokensync
