@@ -47,11 +47,8 @@ std::pair<std::uint64_t, std::uint64_t> run_workload(
   // Phase 1: approvals creating multi-spender accounts.
   for (ProcessId p = 0; p < w.nodes; ++p) {
     if (static_cast<int>(rng.below(100)) < w.multi_spender_pct) {
-      DynOp op;
-      op.kind = DynOp::Kind::kApprove;
-      op.spender = static_cast<ProcessId>((p + 1) % w.nodes);
-      op.amount = 1u << 19;
-      nodes[p]->submit(op);
+      nodes[p]->submit(DynOp::approve(
+          static_cast<ProcessId>((p + 1) % w.nodes), 1u << 19));
     }
   }
   net.run(4000000);
@@ -62,17 +59,10 @@ std::pair<std::uint64_t, std::uint64_t> run_workload(
     const ProcessId who = static_cast<ProcessId>(rng.below(w.nodes));
     const AccountId grantor =
         static_cast<AccountId>((who + w.nodes - 1) % w.nodes);
-    DynOp op;
-    if (nodes[who]->allowance(grantor, who) > 0 && rng.chance(1, 2)) {
-      op.kind = DynOp::Kind::kTransferFrom;
-      op.src = grantor;
-      op.dst = account_of(who);
-      op.amount = 1;
-    } else {
-      op.kind = DynOp::Kind::kTransfer;
-      op.dst = static_cast<AccountId>(rng.below(w.nodes));
-      op.amount = 1;
-    }
+    const DynOp op =
+        nodes[who]->allowance(grantor, who) > 0 && rng.chance(1, 2)
+            ? DynOp::transfer_from(grantor, account_of(who), 1)
+            : DynOp::transfer(static_cast<AccountId>(rng.below(w.nodes)), 1);
     nodes[who]->submit(op);
     for (int s = 0; s < 50; ++s) net.step();
   }

@@ -1,0 +1,80 @@
+// Distributed-runtime benchmark: every scenario workload × fault profile,
+// run end-to-end on the deterministic SimNet, reporting SIMULATED commit
+// latency and throughput (the protocol-quality metrics) next to wall-time
+// (the simulator-speed metric).
+//
+// Per entry:
+//   items_per_second   — committed operations per WALL second (how fast
+//                        the simulator replays the scenario);
+//   commit_p50/p99     — simulated submit→commit latency percentiles on
+//                        the submitting replica (time units; 0 for the
+//                        dyntoken and at_bcast workloads, whose nodes do
+//                        not timestamp submissions);
+//   commits_per_ktime  — committed operations per 1000 simulated time
+//                        units (protocol throughput under the profile);
+//   sim_time, committed, msgs_sent, msgs_dropped — run shape.
+//
+// Because scenarios are pure functions of (workload, fault, seed), every
+// iteration replays the identical run: the counters are exact, not
+// averages.  The binary always writes BENCH_simnet.json (google-benchmark
+// JSON) unless --benchmark_out redirects it.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_json_main.h"
+#include "sched/scenario.h"
+
+namespace {
+
+using namespace tokensync;
+
+void Scenario(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.workload = all_workloads()[static_cast<std::size_t>(state.range(0))];
+  cfg.fault =
+      all_fault_profiles()[static_cast<std::size_t>(state.range(1))];
+  cfg.seed = 7;
+  cfg.num_replicas = 4;
+  cfg.intensity = 6;
+
+  ScenarioReport rep;
+  for (auto _ : state) {
+    rep = run_scenario(cfg);
+    benchmark::DoNotOptimize(rep.history_digest);
+  }
+  if (!rep.ok()) {
+    state.SkipWithError(("invariant violation: " + rep.summary()).c_str());
+    return;
+  }
+  state.SetLabel(rep.workload + "/" + rep.fault);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rep.committed));
+  state.counters["commit_p50"] = static_cast<double>(rep.latency.p50);
+  state.counters["commit_p99"] = static_cast<double>(rep.latency.p99);
+  state.counters["commit_mean"] = rep.latency.mean;
+  state.counters["commits_per_ktime"] = rep.commits_per_ktime;
+  state.counters["sim_time"] = static_cast<double>(rep.sim_time);
+  state.counters["committed"] = static_cast<double>(rep.committed);
+  state.counters["msgs_sent"] = static_cast<double>(rep.net.sent);
+  state.counters["msgs_dropped"] = static_cast<double>(rep.net.dropped);
+}
+
+void scenario_matrix(benchmark::internal::Benchmark* b) {
+  for (std::size_t w = 0; w < all_workloads().size(); ++w) {
+    for (std::size_t f = 0; f < all_fault_profiles().size(); ++f) {
+      b->Args({static_cast<long>(w), static_cast<long>(f)});
+    }
+  }
+  b->ArgNames({"workload", "fault"});
+  b->MinTime(0.01);
+}
+
+BENCHMARK(Scenario)->Apply(scenario_matrix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tokensync_bench::run_benchmarks_with_default_json(
+      argc, argv, "BENCH_simnet.json");
+}

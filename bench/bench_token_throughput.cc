@@ -31,6 +31,7 @@
 
 #include "atomic/ledger.h"
 #include "atomic/ledger_specs.h"
+#include "bench_json_main.h"
 #include "common/rng.h"
 
 namespace {
@@ -209,23 +210,6 @@ BENCHMARK(Erc777_Disjoint)->Apply(shard_sweep);
 
 int main(int argc, char** argv) {
   // Default the JSON artifact on unless the caller redirects it.
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
-      has_out = true;
-    }
-  }
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_token_throughput.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return tokensync_bench::run_benchmarks_with_default_json(
+      argc, argv, "BENCH_token_throughput.json");
 }

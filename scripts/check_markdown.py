@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Markdown link/reference checker (no network, no deps).
+
+Checks, for each tracked *.md file passed on the command line (or the
+default doc set):
+  1. every relative markdown link [text](target) resolves to a file or
+     directory in the repo (http(s) links are not fetched);
+  2. every backtick-quoted repo path (`src/...`, `tests/...`,
+     `bench/...`, `examples/...`, `scripts/...`) names an existing file,
+     optionally with a :line suffix or {h,cc}-style brace expansion;
+  3. basic hygiene: no trailing whitespace.
+
+Exit code 0 = clean, 1 = findings (printed one per line).
+"""
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DOCS = ["README.md", "DESIGN.md", "CHANGES.md", "EXPERIMENTS.md",
+                "ISSUE.md", "ROADMAP.md", "PAPER.md", "PAPERS.md",
+                "SNIPPETS.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH_RE = re.compile(
+    r"`((?:src|tests|bench|examples|scripts)/[A-Za-z0-9_./{},*:-]+)`")
+
+
+def expand_braces(path):
+    """ledger_specs.{h,cc} -> [ledger_specs.h, ledger_specs.cc]."""
+    m = re.search(r"\{([^}]*)\}", path)
+    if not m:
+        return [path]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(path[:m.start()] + alt + path[m.end():]))
+    return out
+
+
+def check_file(relpath, findings):
+    path = os.path.join(REPO, relpath)
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    in_fence = False
+    for i, line in enumerate(lines, 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # verbatim code: whitespace and brackets are content
+        if line != line.rstrip():
+            findings.append(f"{relpath}:{i}: trailing whitespace")
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not os.path.exists(os.path.join(REPO, target)):
+                findings.append(f"{relpath}:{i}: broken link -> {target}")
+        for m in CODE_PATH_RE.finditer(line):
+            raw = m.group(1).rstrip(".,;:")
+            if "*" in raw:
+                continue  # glob patterns are illustrative
+            for candidate in expand_braces(raw):
+                candidate = candidate.split(":", 1)[0]  # strip :line
+                if not os.path.exists(os.path.join(REPO, candidate)):
+                    findings.append(
+                        f"{relpath}:{i}: dangling path reference -> "
+                        f"{candidate}")
+
+
+def main():
+    docs = sys.argv[1:] or [d for d in DEFAULT_DOCS
+                            if os.path.exists(os.path.join(REPO, d))]
+    findings = []
+    for doc in docs:
+        check_file(doc, findings)
+    for f in findings:
+        print(f)
+    print(f"check_markdown: {len(docs)} files, {len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

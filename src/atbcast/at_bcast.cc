@@ -6,7 +6,7 @@ namespace tokensync {
 
 AtBcastNode::AtBcastNode(Net& net, ProcessId self,
                          std::vector<Amount> initial)
-    : self_(self), balances_(std::move(initial)) {
+    : net_(net), self_(self), balances_(std::move(initial)) {
   erb_ = std::make_unique<ErbNode<AtTransfer>>(
       net, self,
       [this](ProcessId origin, std::uint64_t seq, const AtTransfer& t) {
@@ -38,6 +38,7 @@ void AtBcastNode::apply_or_park(ProcessId origin, const AtTransfer& t) {
     balances_[t.src] -= t.amount;
     balances_[t.dst] += t.amount;
     ++applied_;
+    last_applied_time_ = net_.now();
     drain_parked();
     return;
   }
@@ -56,6 +57,7 @@ void AtBcastNode::drain_parked() {
         balances_[t.src] -= t.amount;
         balances_[t.dst] += t.amount;
         ++applied_;
+        last_applied_time_ = net_.now();
         parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
         progress = true;
         break;

@@ -54,6 +54,12 @@ class AtBcastNode {
   const std::vector<Amount>& balances() const noexcept { return balances_; }
   std::uint64_t applied_count() const noexcept { return applied_; }
   std::uint64_t parked_count() const noexcept { return parked_.size(); }
+  /// Simulated time of this replica's latest applied transfer — the
+  /// span endpoint throughput measurements use (under faults it lands
+  /// wherever the last retransmission got through).
+  std::uint64_t last_applied_time() const noexcept {
+    return last_applied_time_;
+  }
 
  private:
   void on_deliver(ProcessId origin, std::uint64_t seq, const AtTransfer& t);
@@ -62,11 +68,13 @@ class AtBcastNode {
   void apply_or_park(ProcessId origin, const AtTransfer& t);
   void drain_parked();
 
+  Net& net_;
   ProcessId self_;
   std::vector<Amount> balances_;
   std::unique_ptr<ErbNode<AtTransfer>> erb_;
   std::deque<std::pair<ProcessId, AtTransfer>> parked_;
   std::uint64_t applied_ = 0;
+  std::uint64_t last_applied_time_ = 0;
 };
 
 }  // namespace tokensync

@@ -1,0 +1,175 @@
+// Total-order (atomic) broadcast over the multi-instance Paxos engine.
+//
+// The consensus-free AtBcastNode in this directory shows what FIFO
+// reliable broadcast alone can replicate (CN = 1 asset transfer); this
+// file is the other end of the hierarchy: a slot-per-message Paxos log
+// (acceptor group = all nodes) that delivers every broadcast payload in
+// the SAME total order at every correct replica — the substrate the
+// ReplicaNode runtime (net/replica.h) uses to replicate arbitrary token
+// state machines whose operations do NOT commute.
+//
+// Protocol: each node numbers its payloads with a local nonce and keeps
+// proposing its oldest pending payload at the lowest slot it does not yet
+// know to be decided.  Losing a slot just moves the proposal to the next
+// one; Paxos value adoption can therefore decide the same (origin, nonce)
+// command in two different slots, so delivery deduplicates by submission
+// id — deterministically, because every replica processes slots in the
+// same order.  Delivery is contiguous in slot order (a decided slot parks
+// until all earlier slots are known).
+//
+// Catch-up (anti-entropy) is query-driven and self-terminating:
+//   * gap repair    — learning slot s while slot s' < s is unknown sends
+//                     a kQuery for every missing earlier slot;
+//   * frontier walk — while decided slots sit beyond the contiguous
+//                     prefix, one kQuery for the next undelivered slot;
+//                     each answer extends the prefix and repeats the
+//                     walk.  Gapless commits send nothing extra.
+// Together these heal kDecide disseminations lost to drops or partitions
+// without timers and without flooding a quiescent network; sync() exposes
+// an unconditional frontier query so scenario drivers can force
+// convergence at the end of a run (a replica that missed the final
+// decisions has no local gap evidence to react to).
+//
+// Guarantees (crash-stop, majority of nodes correct): agreement and total
+// order from Paxos quorum intersection, unconditionally; liveness under
+// eventual synchrony (the engine's randomized retry backoff), with a
+// sender's pending payloads surviving arbitrary drop/duplication rates
+// and partitions, resuming once a majority is reachable again.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "dyntoken/paxos.h"
+#include "net/simnet.h"
+
+namespace tokensync {
+
+/// A broadcast command: `payload` wrapped with its submission identity.
+template <typename Payload>
+struct TobCmd {
+  ProcessId origin = 0;
+  std::uint64_t nonce = 0;  ///< per-origin, 1-based; 0 = empty slot value
+  Payload payload{};
+
+  friend bool operator==(const TobCmd&, const TobCmd&) = default;
+};
+
+/// One node of the Paxos-backed total-order broadcast.
+template <typename Payload>
+class TotalOrderBcast {
+ public:
+  using Cmd = TobCmd<Payload>;
+  using Net = SimNet<PaxosMsg<Cmd>>;
+  /// Called exactly once per committed command, in slot order, with the
+  /// same (slot, origin, nonce, payload) sequence on every replica.
+  using Deliver = std::function<void(std::uint64_t slot, ProcessId origin,
+                                     std::uint64_t nonce, const Payload&)>;
+
+  TotalOrderBcast(Net& net, ProcessId self, Deliver deliver,
+                  std::uint64_t retry_delay = 40)
+      : net_(net), self_(self), deliver_(std::move(deliver)),
+        everyone_(net.num_nodes()) {
+    for (ProcessId p = 0; p < everyone_.size(); ++p) everyone_[p] = p;
+    paxos_ = std::make_unique<PaxosEngine<Cmd>>(
+        net, self, [this](InstanceId) { return std::optional(everyone_); },
+        [this](InstanceId slot, const Cmd& c) { on_decide(slot, c); },
+        retry_delay);
+  }
+
+  /// Queues `p` for total-order delivery; returns its submission nonce.
+  /// The node keeps proposing until the payload lands in some slot.
+  std::uint64_t broadcast(Payload p) {
+    Cmd c;
+    c.origin = self_;
+    c.nonce = next_nonce_++;
+    c.payload = std::move(p);
+    pending_.push_back(std::move(c));
+    pump();
+    return next_nonce_ - 1;
+  }
+
+  /// Anti-entropy probe for the next undelivered slot; a no-op on an
+  /// up-to-date replica (nobody answers a query for an undecided slot).
+  void sync() { paxos_->query_all(next_deliver_); }
+
+  /// Slots delivered so far (the length of the local committed prefix).
+  std::uint64_t delivered_count() const noexcept { return next_deliver_; }
+
+  /// True iff every payload this node broadcast has been delivered here.
+  bool all_settled() const noexcept { return pending_.empty(); }
+
+ private:
+  /// Lowest slot not yet known decided — where our next proposal goes.
+  std::uint64_t next_open_slot() const {
+    std::uint64_t s = next_deliver_;
+    while (decided_.contains(s)) ++s;
+    return s;
+  }
+
+  /// Proposes only the HEAD of the pending queue: per-origin FIFO in the
+  /// committed log, and at most one in-flight proposal per node.
+  void pump() {
+    if (pending_.empty()) return;
+    paxos_->propose(next_open_slot(), pending_.front());
+  }
+
+  void on_decide(std::uint64_t slot, const Cmd& c) {
+    // A catch-up REPLY proves we were behind: continue the frontier walk.
+    const bool caught_up = paxos_->last_decide_was_reply();
+    decided_.emplace(slot, c);
+    // Gap repair: ask for every earlier slot we have no decision for.
+    for (std::uint64_t s = next_deliver_; s < slot; ++s) {
+      if (!decided_.contains(s)) paxos_->query_all(s);
+    }
+    // Contiguous delivery with (origin, nonce) dedup.
+    while (true) {
+      const auto it = decided_.find(next_deliver_);
+      if (it == decided_.end()) break;
+      const Cmd& cmd = it->second;
+      if (cmd.origin == self_) {
+        pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                      [&](const Cmd& p) {
+                                        return p.nonce == cmd.nonce;
+                                      }),
+                       pending_.end());
+      }
+      if (cmd.nonce != 0 &&
+          seen_.insert({cmd.origin, cmd.nonce}).second) {
+        deliver_(next_deliver_, cmd.origin, cmd.nonce, cmd.payload);
+      }
+      ++next_deliver_;
+    }
+    // Frontier walk, gated on catch-up evidence: walk on when either a
+    // decided slot sits beyond the contiguous prefix (a hole must exist
+    // somewhere) or this decision reached us as a catch-up reply (we are
+    // chasing a tail of missed decisions, and only the walk can tell us
+    // where it ends).  An ordinary fault-free commit satisfies neither,
+    // so the fast path sends zero extra messages.
+    const bool gap =
+        !decided_.empty() && decided_.rbegin()->first >= next_deliver_;
+    if (gap || caught_up) paxos_->query_all(next_deliver_);
+    pump();
+  }
+
+  Net& net_;
+  ProcessId self_;
+  Deliver deliver_;
+  std::vector<ProcessId> everyone_;  // the constant acceptor group
+  std::unique_ptr<PaxosEngine<Cmd>> paxos_;
+  std::vector<Cmd> pending_;  // our submissions, oldest first
+  std::uint64_t next_nonce_ = 1;
+  std::uint64_t next_deliver_ = 0;
+  std::map<std::uint64_t, Cmd> decided_;
+  std::set<std::pair<ProcessId, std::uint64_t>> seen_;
+};
+
+}  // namespace tokensync

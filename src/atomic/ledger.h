@@ -21,10 +21,13 @@
 // The ledger maps accounts onto `num_shards` lock shards (shard =
 // account mod num_shards) and acquires each operation's footprint shards
 // in ascending order — the canonical total order that makes cross-account
-// transfers deadlock-free.  num_shards = 1 degenerates to the global
-// mutex ("all transactions through consensus") baseline; num_shards =
-// num_accounts is per-account synchronization, the granularity the paper
-// derives.
+// transfers deadlock-free.  The shard-spectrum contract: num_shards = 1
+// degenerates to the global mutex ("all transactions through consensus")
+// baseline; num_shards = num_accounts is per-account synchronization,
+// the granularity the paper derives; every point in between is a valid
+// coarsening (σ-footprints map to shard sets, so two operations
+// serialize iff their footprints collide mod num_shards — never fewer
+// locks than σ requires).  DESIGN.md §6 carries the full argument.
 //
 // State-dependent footprints are handled optimistically: compute the
 // footprint, lock it, recompute — if the locked shard set still covers

@@ -103,10 +103,16 @@ class ErbNode {
   void on_timer() {
     // Retransmit unacked messages; keeps delivery live across drops.  The
     // timer stays armed only while acks are outstanding, so a quiescent
-    // cluster's event queue drains.
+    // cluster's event queue drains.  Crashed peers are written off
+    // instead of retransmitted to forever — the simulator's crash oracle
+    // stands in for the crash-stop model's perfect failure detector
+    // (without it, one crashed peer keeps every correct node's timer
+    // armed and the network never quiesces).
     timer_armed_ = false;
     bool any_missing = false;
     for (auto& [key, missing] : pending_acks_) {
+      std::erase_if(missing,
+                    [this](ProcessId p) { return net_.is_crashed(p); });
       if (missing.empty()) continue;
       any_missing = true;
       const auto& m = known_.at(key);

@@ -3,9 +3,12 @@
 //
 // Instantiated with a TokenRaceSpec (objects/token_race.h) this yields an
 // explorable ProtocolConfig; kat_consensus.h, erc721_consensus.h and
-// erc777_consensus.h are thin spec adapters over this template.  The
-// machine is the familiar four phases, each step one atomic base-object
-// operation (the granularity the paper's model interleaves):
+// erc777_consensus.h are thin spec adapters over this template.  (The
+// same spec also drives the replicated form of the protocol over a real
+// network — RaceSM<Spec> in net/replica.h — where the phases become
+// committed commands instead of shared-memory steps.)  The machine is
+// the familiar four phases, each step one atomic base-object operation
+// (the granularity the paper's model interleaves):
 //
 //   propose(v) for p_i:
 //     kWrite   R[i].write(v)

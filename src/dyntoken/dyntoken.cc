@@ -9,17 +9,27 @@ namespace tokensync {
 
 DynTokenNode::DynTokenNode(Net& net, ProcessId self,
                            std::vector<Amount> initial, Mode mode)
-    : self_(self),
+    : net_(net),
+      self_(self),
       mode_(mode),
       num_replicas_(net.num_nodes()),
       balances_(std::move(initial)),
       allowances_(balances_.size(),
                   std::vector<Amount>(balances_.size(), 0)),
       next_slot_(balances_.size(), 0),
-      pending_(balances_.size()) {
+      pending_(balances_.size()),
+      account_logs_(balances_.size()) {
   paxos_ = std::make_unique<PaxosEngine<DynOp>>(
       net, self,
-      [this](InstanceId id) { return resolve_group(id); },
+      [this](InstanceId id) {
+        const auto g = resolve_group(id);
+        // A message about a slot we cannot resolve yet is evidence that a
+        // peer decided slots we missed (its kDecide was dropped): pull
+        // our frontier forward, or the proposer would retry against our
+        // "not ready" nacks until the next driver-level sync.
+        if (!g) hint_gap(id);
+        return g;
+      },
       [this](InstanceId id, const DynOp& op) { on_decide(id, op); });
 }
 
@@ -87,9 +97,35 @@ void DynTokenNode::on_decide(InstanceId id, const DynOp& /*op*/) {
   const AccountId a = static_cast<AccountId>(id >> 32);
   const std::uint32_t slot = static_cast<std::uint32_t>(id);
   if (a >= balances_.size()) return;
+  // A catch-up REPLY proves we were behind: continue the frontier walk.
+  const bool caught_up = paxos_->last_decide_was_reply();
   decided_slots_[a].emplace(slot, paxos_->decision(id));
   process_ready_slots(a);
+  // Anti-entropy frontier walk (see sync()), gated on catch-up evidence:
+  // walk on if decided-but-unprocessable slots remain (a hole must exist
+  // somewhere) or this decision reached us as a catch-up reply (we are
+  // chasing a tail of missed decisions).  An ordinary commit on an
+  // up-to-date account satisfies neither — zero extra messages on the
+  // fault-free path.
+  if (!decided_slots_[a].empty() || caught_up) {
+    query_frontier(a);
+  }
   pump_submissions();
+}
+
+void DynTokenNode::sync() {
+  for (AccountId a = 0; a < balances_.size(); ++a) query_frontier(a);
+}
+
+void DynTokenNode::hint_gap(InstanceId id) {
+  const AccountId a = static_cast<AccountId>(id >> 32);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  if (a >= balances_.size()) return;
+  if (slot > next_slot_[a]) query_frontier(a);
+}
+
+void DynTokenNode::query_frontier(AccountId a) {
+  paxos_->query_all(instance_of(a, next_slot_[a]));
 }
 
 void DynTokenNode::process_ready_slots(AccountId a) {
@@ -100,7 +136,7 @@ void DynTokenNode::process_ready_slots(AccountId a) {
     const DynOp op = it->second;
     slots.erase(it);
     ++next_slot_[a];
-    apply_op(op);
+    apply_op(a, op);
     // Drop our pending submissions that this decision satisfied.
     my_pending_.erase(
         std::remove(my_pending_.begin(), my_pending_.end(), op),
@@ -108,26 +144,61 @@ void DynTokenNode::process_ready_slots(AccountId a) {
   }
 }
 
-void DynTokenNode::apply_op(const DynOp& op) {
+namespace {
+
+std::string render_op(const DynOp& op) {
+  const std::string id =
+      "p" + std::to_string(op.caller) + "#" + std::to_string(op.nonce);
+  switch (op.kind) {
+    case DynOp::Kind::kNone:
+      return "noop";
+    case DynOp::Kind::kApprove:
+      return id + " approve(p" + std::to_string(op.spender) + ", " +
+             std::to_string(op.amount) + ")";
+    case DynOp::Kind::kTransfer:
+      return id + " transfer(a" + std::to_string(op.dst) + ", " +
+             std::to_string(op.amount) + ")";
+    case DynOp::Kind::kTransferFrom:
+      return id + " transferFrom(a" + std::to_string(op.src) + ", a" +
+             std::to_string(op.dst) + ", " + std::to_string(op.amount) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void DynTokenNode::apply_op(AccountId a, const DynOp& op) {
   ++processed_;
+  last_commit_time_ = net_.now();
+  // The log line depends only on account a's processed prefix (allowance
+  // state is per-account, dedup ids are slot-ordered), so replicas render
+  // identical per-account histories regardless of how they interleave
+  // accounts.
+  std::string line = render_op(op);
   if (op.kind != DynOp::Kind::kNone) {
     // Deduplicate by submission id: a re-proposed op that was also
     // adopted at an earlier slot applies once; the duplicate slot is a
     // void entry (deterministically on every replica).
-    if (!applied_ids_.insert({op.caller, op.nonce}).second) return;
+    if (!applied_ids_.insert({op.caller, op.nonce}).second) {
+      account_logs_[a].push_back(line + " -> void(dup)");
+      return;
+    }
   }
   switch (op.kind) {
     case DynOp::Kind::kNone:
+      account_logs_[a].push_back(std::move(line));
       return;
 
     case DynOp::Kind::kApprove:
       // Allowance effects are immediate and slot-ordered: deterministic.
       // This is also the group/epoch change (takes effect next slot).
       allowances_[op.src][op.spender] = op.amount;
+      account_logs_[a].push_back(line + " -> TRUE");
       return;
 
     case DynOp::Kind::kTransfer:
       pending_[op.src].push_back(Movement{op.src, op.dst, op.amount});
+      account_logs_[a].push_back(line + " -> queued");
       drain_parked();
       return;
 
@@ -136,14 +207,28 @@ void DynTokenNode::apply_op(const DynOp& op) {
       // lost the allowance race aborts identically on every replica.
       if (allowances_[op.src][op.caller] < op.amount) {
         ++aborted_;
+        account_logs_[a].push_back(line + " -> FALSE(allowance)");
         return;
       }
       allowances_[op.src][op.caller] -= op.amount;
       pending_[op.src].push_back(Movement{op.src, op.dst, op.amount});
+      account_logs_[a].push_back(line + " -> queued");
       drain_parked();
       return;
     }
   }
+}
+
+std::string DynTokenNode::history() const {
+  std::string h;
+  for (AccountId a = 0; a < account_logs_.size(); ++a) {
+    for (std::size_t s = 0; s < account_logs_[a].size(); ++s) {
+      h += "a" + std::to_string(a) + "[" + std::to_string(s) + "] ";
+      h += account_logs_[a][s];
+      h += "\n";
+    }
+  }
+  return h;
 }
 
 void DynTokenNode::drain_parked() {

@@ -41,6 +41,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,31 @@ struct DynOp {
   /// operation can then be decided in two slots.  Replicas deduplicate by
   /// (caller, nonce), applying the first and voiding the second.
   std::uint64_t nonce = 0;
+
+  /// Factories for client code (caller/src of transfer and approve are
+  /// filled in by DynTokenNode::submit).
+  static DynOp transfer(AccountId dst, Amount v) {
+    DynOp op;
+    op.kind = Kind::kTransfer;
+    op.dst = dst;
+    op.amount = v;
+    return op;
+  }
+  static DynOp transfer_from(AccountId src, AccountId dst, Amount v) {
+    DynOp op;
+    op.kind = Kind::kTransferFrom;
+    op.src = src;
+    op.dst = dst;
+    op.amount = v;
+    return op;
+  }
+  static DynOp approve(ProcessId spender, Amount v) {
+    DynOp op;
+    op.kind = Kind::kApprove;
+    op.spender = spender;
+    op.amount = v;
+    return op;
+  }
 
   friend bool operator==(const DynOp&, const DynOp&) = default;
 };
@@ -104,6 +130,13 @@ class DynTokenNode {
   std::uint64_t processed_ops() const noexcept { return processed_; }
   std::uint64_t aborted_ops() const noexcept { return aborted_; }
   std::uint64_t parked_movements() const noexcept;
+  /// Simulated time at which this replica processed its latest slot —
+  /// the span endpoint throughput measurements use (on a fault-free run
+  /// this precedes the audit's sync rounds; under faults it lands
+  /// wherever the last decision was recovered).
+  std::uint64_t last_commit_time() const noexcept {
+    return last_commit_time_;
+  }
 
   /// True iff every operation this node submitted has been decided (in
   /// some slot) — the workload-completion signal for tests and benches.
@@ -113,6 +146,29 @@ class DynTokenNode {
   /// node's processed prefix.
   std::vector<ProcessId> current_group(AccountId a) const;
 
+  /// Anti-entropy probe: queries every account's next unprocessed slot.
+  /// A replica that fell behind (kDecide disseminations lost to drops or
+  /// a partition) pulls in the missing decisions — each answer advances
+  /// the prefix and triggers the next probe — while an up-to-date
+  /// replica's probes go unanswered.  Scenario drivers call this near the
+  /// end of a run to force convergence at quiescence.
+  void sync();
+
+  /// Per-account committed histories: account_logs()[a][s] renders the
+  /// operation processed at slot s of account a and its deterministic
+  /// outcome.  Identical across replicas for any common prefix (slots are
+  /// processed in order and outcomes depend only on the prefix), even
+  /// though replicas interleave DIFFERENT accounts in different orders —
+  /// which is exactly the per-σ-group synchronization story.
+  const std::vector<std::vector<std::string>>& account_logs() const noexcept {
+    return account_logs_;
+  }
+
+  /// Canonical rendering of account_logs() (account-major), the
+  /// byte-comparable committed history used by determinism and agreement
+  /// checks.
+  std::string history() const;
+
  private:
   /// Instance encoding: account in the high 32 bits, slot in the low 32.
   static InstanceId instance_of(AccountId a, std::uint32_t slot) {
@@ -120,16 +176,26 @@ class DynTokenNode {
   }
 
   std::optional<std::vector<ProcessId>> resolve_group(InstanceId id) const;
+  /// Reactive anti-entropy: called when a peer's message names an
+  /// instance beyond our processed prefix — queries our frontier slot so
+  /// the missed decisions stream in (each answer advances the prefix and
+  /// re-queries via on_decide).
+  void hint_gap(InstanceId id);
+  /// Sends a kQuery for account a's next unprocessed slot; the answer (a
+  /// catch-up reply) continues the frontier walk in on_decide.
+  void query_frontier(AccountId a);
   void on_decide(InstanceId id, const DynOp& op);
   /// Processes decided slots of `a` in order as far as possible.
   void process_ready_slots(AccountId a);
-  /// Applies op effects; allowance effects immediate, balance movement
-  /// parked until funded.
-  void apply_op(const DynOp& op);
+  /// Applies the op decided at (a, slot); allowance effects immediate,
+  /// balance movement parked until funded.  Appends the rendered outcome
+  /// to account_logs_[a].
+  void apply_op(AccountId a, const DynOp& op);
   void drain_parked();
   /// (Re-)proposes every still-undecided submission of ours.
   void pump_submissions();
 
+  Net& net_;
   ProcessId self_;
   Mode mode_ = Mode::kPerAccountGroups;
   std::size_t num_replicas_ = 0;
@@ -154,11 +220,14 @@ class DynTokenNode {
   /// observe cross-account credits at different times.
   std::vector<std::deque<Movement>> pending_;
 
+  std::vector<std::vector<std::string>> account_logs_;  // [account][slot]
+
   std::vector<DynOp> my_pending_;  // submitted, not yet decided anywhere
   std::uint64_t next_nonce_ = 1;
   std::set<std::pair<ProcessId, std::uint64_t>> applied_ids_;
   std::uint64_t processed_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t last_commit_time_ = 0;
 };
 
 }  // namespace tokensync

@@ -38,6 +38,7 @@ struct PaxosMsg {
     kAccepted,  // 2b: ballot
     kNack,      // higher ballot seen (or not ready): retry later
     kDecide,    // learned decision, disseminated to everyone
+    kQuery,     // learner catch-up: "answer kDecide if you decided this"
   };
 
   Type type = Type::kPrepare;
@@ -47,6 +48,12 @@ struct PaxosMsg {
   bool has_accepted = false;
   std::uint64_t accepted_ballot = 0;
   Value accepted_value{};
+  /// kDecide only: true when this is a catch-up REPLY (answering a
+  /// kQuery or any stale traffic for a decided instance) rather than the
+  /// decider's broadcast.  Receiving a reply proves the receiver was
+  /// behind — layers use it to keep their anti-entropy frontier walk
+  /// going without paying any messages on the fault-free path.
+  bool is_reply = false;
 };
 
 /// One node's Paxos engine (proposer + acceptor + learner for every
@@ -84,8 +91,28 @@ class PaxosEngine {
     start_round(instance);
   }
 
+  /// Learner catch-up (anti-entropy): asks every node for the decision of
+  /// `instance`.  Anyone that has decided answers through the standard
+  /// catch-up path; nodes that have not simply ignore the query, so a
+  /// query for a genuinely undecided instance generates no traffic beyond
+  /// the probe itself.  Layers above use this to heal gaps left by
+  /// dropped kDecide disseminations (partitions, lossy links).
+  void query_all(InstanceId instance) {
+    if (decided_.contains(instance)) return;
+    PaxosMsg<Value> m;
+    m.type = PaxosMsg<Value>::Type::kQuery;
+    m.instance = instance;
+    net_.send_all(self_, m);
+  }
+
   bool has_decided(InstanceId instance) const {
     return decided_.contains(instance);
+  }
+  /// True while the on_decide handler runs for a decision that arrived
+  /// as a catch-up REPLY (see PaxosMsg::is_reply); false for local
+  /// decisions and ordinary kDecide broadcasts.
+  bool last_decide_was_reply() const noexcept {
+    return last_decide_was_reply_;
   }
   const Value& decision(InstanceId instance) const {
     return decided_.at(instance);
@@ -175,6 +202,7 @@ class PaxosEngine {
         r.type = T::kDecide;
         r.instance = m.instance;
         r.value = d->second;
+        r.is_reply = true;
         net_.send(self_, from, r);
         return;
       }
@@ -274,12 +302,19 @@ class PaxosEngine {
         // timer will start a fresh round.
         return;
 
+      case T::kQuery:
+        // We have not decided this instance (a decided one was answered by
+        // the catch-up branch above) — nothing to report.
+        return;
+
       case T::kDecide: {
         if (!decided_.contains(m.instance)) {
           decided_.emplace(m.instance, m.value);
           auto it = proposers_.find(m.instance);
           if (it != proposers_.end()) it->second.active = false;
+          last_decide_was_reply_ = m.is_reply;
           on_decide_(m.instance, m.value);
+          last_decide_was_reply_ = false;
         }
         return;
       }
@@ -310,6 +345,7 @@ class PaxosEngine {
   std::map<InstanceId, Proposer> proposers_;
   std::map<InstanceId, Acceptor> acceptors_;
   std::map<InstanceId, Value> decided_;
+  bool last_decide_was_reply_ = false;
 };
 
 }  // namespace tokensync

@@ -1,0 +1,18 @@
+// ReplicaNode and its state machines are header-only templates; this TU
+// anchors the net/ replica layer in the library target and pins the
+// concept conformance of the shipped state machines.
+#include "net/replica.h"
+
+#include "core/kat_consensus.h"
+#include "objects/erc20.h"
+#include "objects/erc721.h"
+#include "objects/erc777.h"
+
+namespace tokensync {
+
+static_assert(ReplicaStateMachine<RaceSM<KatRaceSpec>>);
+static_assert(ReplicaStateMachine<LedgerSM<Erc20Spec>>);
+static_assert(ReplicaStateMachine<LedgerSM<Erc721Spec>>);
+static_assert(ReplicaStateMachine<LedgerSM<Erc777Spec>>);
+
+}  // namespace tokensync

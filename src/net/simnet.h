@@ -1,10 +1,40 @@
-// Discrete-event message-passing network simulator.
+// Deterministic discrete-event message-passing network simulator.
 //
 // The paper's Sec. 7 calls for broadcast-based token protocols; this
 // substrate provides the asynchronous network they run on: point-to-point
-// messages with randomized per-message delays, probabilistic drops,
-// programmable partitions, node crashes, and per-node timers.  Everything
-// is driven by one seeded Rng, so every run is reproducible.
+// messages with randomized per-message delays, probabilistic drops and
+// duplication, programmable partitions, crash-stop faults, per-node timers
+// and callbacks, and a net-level fault schedule.  Everything is driven by
+// one seeded Rng plus a FIFO tie-break on equal timestamps, so a run is a
+// pure function of (seed, the sequence of API calls): two runs with the
+// same seed and the same deterministic protocol code produce the same
+// delivery order, the same drops, the same fault timing — byte-identical
+// traces (the property tests/scenario_test.cc asserts end-to-end).
+//
+// Fault model (what the seed covers and what it does not):
+//   * delays       — uniform in [min_delay, max_delay] per message, drawn
+//                    from the seeded Rng; per-link overrides via
+//                    set_link_delay() (e.g. one slow WAN link);
+//   * drops        — each send independently dropped with probability
+//                    drop_num/drop_den (link-level loss, fair-lossy: a
+//                    retransmitting sender eventually gets through);
+//   * duplication  — each surviving send duplicated with probability
+//                    dup_num/dup_den; the copy gets an independent delay
+//                    (protocols must be idempotent at the receiver);
+//   * partitions   — partition(groups) keeps only intra-group links up;
+//                    heal() restores full connectivity.  Partitions apply
+//                    at SEND time: messages already in flight when the
+//                    partition starts are still delivered (they had left
+//                    the sender's NIC);
+//   * crash-stop   — crash(node): the node neither sends nor receives from
+//                    that point on; in-flight messages TO it are dropped
+//                    at delivery time, its timers and callbacks never fire.
+//
+// Fault schedules are ordinary events: schedule(delay, fn) runs fn at a
+// simulated time regardless of node state (the "adversary's hand" —
+// scenario drivers use it to flip partitions and crash replicas), while
+// call_at(node, delay, fn) is a node-local callback that dies with the
+// node (client drivers use it to submit operations over time).
 //
 // SimNet is templated on the wire-message type; each protocol defines its
 // own message struct and registers a delivery handler per node.
@@ -12,7 +42,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -21,20 +53,24 @@
 
 namespace tokensync {
 
-/// Simulation parameters.
+/// Simulation parameters.  Aggregate by design: scenario code uses
+/// designated initializers and only names the knobs it cares about.
 struct NetConfig {
   std::uint64_t seed = 1;
   std::uint64_t min_delay = 1;    ///< inclusive, simulated time units
   std::uint64_t max_delay = 10;   ///< inclusive
   std::uint64_t drop_num = 0;     ///< drop probability drop_num/drop_den
   std::uint64_t drop_den = 100;
+  std::uint64_t dup_num = 0;      ///< duplication probability dup_num/dup_den
+  std::uint64_t dup_den = 100;
 };
 
-/// Network statistics (benchmarks report these).
+/// Network statistics (benchmarks and scenario reports include these).
 struct NetStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;     ///< loss + partition + crashed receiver
+  std::uint64_t duplicated = 0;  ///< extra copies injected
 };
 
 template <typename Msg>
@@ -42,7 +78,9 @@ class SimNet {
  public:
   using Handler = std::function<void(ProcessId from, const Msg&)>;
   using TimerHandler = std::function<void(std::uint64_t timer_id)>;
-  /// Returns true iff the link from->to is currently up.
+  using Callback = std::function<void()>;
+  /// Returns true iff the link from->to is currently up (checked at send
+  /// time, after the partition check).
   using LinkFilter = std::function<bool(ProcessId from, ProcessId to,
                                         std::uint64_t now)>;
 
@@ -62,17 +100,51 @@ class SimNet {
   }
   void set_link_filter(LinkFilter f) { link_filter_ = std::move(f); }
 
+  /// Overrides the delay distribution of the directed link from->to.
+  void set_link_delay(ProcessId from, ProcessId to, std::uint64_t min_delay,
+                      std::uint64_t max_delay) {
+    TS_EXPECTS(min_delay <= max_delay);
+    link_delay_[{from, to}] = {min_delay, max_delay};
+  }
+
   /// Crash-stop: the node neither sends nor receives from now on.
   void crash(ProcessId node) { crashed_.at(node) = true; }
   bool is_crashed(ProcessId node) const { return crashed_.at(node); }
 
+  /// Partitions the network into the given groups: a link is up iff both
+  /// endpoints are in the same group.  Nodes not listed in any group end
+  /// up isolated (their own singleton component).  Applies to sends from
+  /// now on; in-flight messages are unaffected.
+  void partition(const std::vector<std::vector<ProcessId>>& groups) {
+    group_of_.assign(num_nodes(), kIsolated);
+    std::uint32_t g = 0;
+    for (const auto& members : groups) {
+      for (ProcessId p : members) group_of_.at(p) = g;
+      ++g;
+    }
+  }
+
+  /// Removes any partition; all links are up again.
+  void heal() { group_of_.clear(); }
+
+  bool partitioned() const noexcept { return !group_of_.empty(); }
+
+  /// True iff the directed link from->to is currently up (partition only;
+  /// the user link filter is consulted separately at send time).
+  /// Self-sends are always up — an isolated node is its own singleton
+  /// component, not cut off from itself.
+  bool link_up(ProcessId from, ProcessId to) const {
+    if (group_of_.empty() || from == to) return true;
+    return group_of_[from] != kIsolated && group_of_[from] == group_of_[to];
+  }
+
   /// Sends m from `from` to `to` (self-sends allowed: delivered like any
-  /// other message).  Drops and partitions apply.
+  /// other message).  Drops, duplication and partitions apply.
   void send(ProcessId from, ProcessId to, Msg m) {
     TS_EXPECTS(from < num_nodes() && to < num_nodes());
     if (crashed_[from]) return;
     ++stats_.sent;
-    if (cfg_.drop_num > 0 && rng_.chance(cfg_.drop_num, cfg_.drop_den)) {
+    if (!link_up(from, to)) {
       ++stats_.dropped;
       return;
     }
@@ -80,10 +152,19 @@ class SimNet {
       ++stats_.dropped;
       return;
     }
-    const std::uint64_t delay =
-        rng_.range(cfg_.min_delay, cfg_.max_delay);
-    events_.push(Event{now_ + delay, next_tie_++, from, to, std::move(m),
-                       false, 0});
+    if (cfg_.drop_num > 0 && rng_.chance(cfg_.drop_num, cfg_.drop_den)) {
+      ++stats_.dropped;
+      return;
+    }
+    const bool duplicate =
+        cfg_.dup_num > 0 && rng_.chance(cfg_.dup_num, cfg_.dup_den);
+    if (!duplicate) {
+      push_message(from, to, std::move(m));
+      return;
+    }
+    ++stats_.duplicated;
+    push_message(from, to, m);
+    push_message(from, to, std::move(m));
   }
 
   /// Sends m to every node (including the sender).
@@ -91,27 +172,61 @@ class SimNet {
     for (ProcessId to = 0; to < num_nodes(); ++to) send(from, to, m);
   }
 
-  /// Schedules a timer callback at now + delay.
+  /// Schedules a timer callback at now + delay, dispatched through the
+  /// node's timer handler with `timer_id` (legacy protocol-engine path).
   void set_timer(ProcessId node, std::uint64_t delay,
                  std::uint64_t timer_id) {
-    events_.push(
-        Event{now_ + delay, next_tie_++, node, node, Msg{}, true, timer_id});
+    events_.push(Event{now_ + delay, next_tie_++, Event::kTimer, node, node,
+                       Msg{}, timer_id, {}});
+  }
+
+  /// Schedules fn at now + delay on `node`; silently dropped if the node
+  /// has crashed by then.  Unlike set_timer, each call carries its own
+  /// callback, so protocol engines and client drivers can coexist on one
+  /// node without sharing the timer handler.
+  void call_at(ProcessId node, std::uint64_t delay, Callback fn) {
+    TS_EXPECTS(node < num_nodes());
+    events_.push(Event{now_ + delay, next_tie_++, Event::kCall, node, node,
+                       Msg{}, 0, std::move(fn)});
+  }
+
+  /// Schedules a net-level control action at now + delay — runs
+  /// unconditionally (fault schedules: partitions, crashes, heals).
+  void schedule(std::uint64_t delay, Callback fn) {
+    events_.push(Event{now_ + delay, next_tie_++, Event::kControl, 0, 0,
+                       Msg{}, 0, std::move(fn)});
   }
 
   /// Delivers the next event; false when the queue is empty.
   bool step() {
     if (events_.empty()) return false;
-    Event e = events_.top();
+    // Move, don't copy: top() is popped immediately, and Event carries a
+    // message payload plus a std::function — the hot path of every run.
+    Event e = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
     now_ = e.time;
-    if (crashed_[e.to]) return true;
-    if (e.is_timer) {
-      if (timer_handlers_[e.to]) timer_handlers_[e.to](e.timer_id);
-      return true;
+    switch (e.kind) {
+      case Event::kControl:
+        e.fn();
+        return true;
+      case Event::kCall:
+        if (!crashed_[e.to]) e.fn();
+        return true;
+      case Event::kTimer:
+        if (!crashed_[e.to] && timer_handlers_[e.to]) {
+          timer_handlers_[e.to](e.timer_id);
+        }
+        return true;
+      case Event::kMsg:
+        if (crashed_[e.to]) {
+          ++stats_.dropped;
+          return true;
+        }
+        ++stats_.delivered;
+        if (handlers_[e.to]) handlers_[e.to](e.from, e.msg);
+        return true;
     }
-    ++stats_.delivered;
-    if (handlers_[e.to]) handlers_[e.to](e.from, e.msg);
-    return true;
+    return true;  // unreachable
   }
 
   /// Runs until quiescence or `max_events`; returns events processed.
@@ -124,20 +239,39 @@ class SimNet {
   bool idle() const noexcept { return events_.empty(); }
 
  private:
+  static constexpr std::uint32_t kIsolated = 0xffffffffu;
+
   struct Event {
+    enum Kind : std::uint8_t { kMsg, kTimer, kCall, kControl };
+
     std::uint64_t time;
     std::uint64_t tie;  // FIFO tiebreak for equal timestamps
+    Kind kind;
     ProcessId from;
     ProcessId to;
     Msg msg;
-    bool is_timer;
     std::uint64_t timer_id;
+    Callback fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       return a.time != b.time ? a.time > b.time : a.tie > b.tie;
     }
   };
+
+  void push_message(ProcessId from, ProcessId to, Msg m) {
+    std::uint64_t lo = cfg_.min_delay, hi = cfg_.max_delay;
+    if (!link_delay_.empty()) {
+      if (const auto it = link_delay_.find({from, to});
+          it != link_delay_.end()) {
+        lo = it->second.first;
+        hi = it->second.second;
+      }
+    }
+    const std::uint64_t delay = rng_.range(lo, hi);
+    events_.push(Event{now_ + delay, next_tie_++, Event::kMsg, from, to,
+                       std::move(m), 0, {}});
+  }
 
   NetConfig cfg_;
   Rng rng_;
@@ -147,6 +281,10 @@ class SimNet {
   std::vector<TimerHandler> timer_handlers_;
   std::vector<bool> crashed_;
   LinkFilter link_filter_;
+  std::vector<std::uint32_t> group_of_;  // empty = no partition
+  std::map<std::pair<ProcessId, ProcessId>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      link_delay_;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   NetStats stats_;
 };

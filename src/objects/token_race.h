@@ -32,8 +32,10 @@
 // Everything else — proposal registers, the step machine, agreement /
 // validity / wait-freedom — is token-independent and lives once in
 // core/token_race_consensus.h.  A new token object joins the family (and
-// instantly gets a consensus protocol, a model-checking target, and a
-// sharded ledger) by supplying a small spec satisfying this concept.
+// instantly gets a consensus protocol, a model-checking target, a
+// sharded ledger via atomic/ledger.h, and a replicated end-to-end run
+// via net/replica.h's RaceSM) by supplying a small spec satisfying this
+// concept.
 //
 // Specs are value types (copied with every explored configuration), so
 // per-instance parameters (e.g. the ERC777 race balance) are plain data

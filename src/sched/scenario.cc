@@ -1,0 +1,508 @@
+// Scenario driver implementation: the named workload scripts, the fault
+// harness plumbing, and the committed-history audits.  See scenario.h for
+// the model.
+#include "sched/scenario.h"
+
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "atbcast/at_bcast.h"
+#include "dyntoken/dyntoken.h"
+#include "objects/erc20.h"
+#include "objects/erc721.h"
+#include "objects/erc777.h"
+
+namespace tokensync {
+
+const char* to_string(FaultProfile f) {
+  switch (f) {
+    case FaultProfile::kNone: return "none";
+    case FaultProfile::kLossyLinks: return "lossy";
+    case FaultProfile::kLossyDup: return "lossy_dup";
+    case FaultProfile::kPartitionHeal: return "partition_heal";
+    case FaultProfile::kMinorityCrash: return "minority_crash";
+  }
+  return "?";
+}
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kErc20TransferStorm: return "erc20_transfer_storm";
+    case Workload::kErc721MintTradeRace: return "erc721_mint_trade_race";
+    case Workload::kErc777ApproveBurn: return "erc777_approve_burn";
+    case Workload::kDynTokenReconfig: return "dyntoken_reconfig";
+    case Workload::kAtBcastPayments: return "at_bcast_payments";
+  }
+  return "?";
+}
+
+const std::vector<FaultProfile>& all_fault_profiles() {
+  static const std::vector<FaultProfile> kAll = {
+      FaultProfile::kNone, FaultProfile::kLossyLinks, FaultProfile::kLossyDup,
+      FaultProfile::kPartitionHeal, FaultProfile::kMinorityCrash};
+  return kAll;
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll = {
+      Workload::kErc20TransferStorm, Workload::kErc721MintTradeRace,
+      Workload::kErc777ApproveBurn, Workload::kDynTokenReconfig,
+      Workload::kAtBcastPayments};
+  return kAll;
+}
+
+std::vector<bool> correct_mask(std::size_t n, FaultProfile f) {
+  std::vector<bool> correct(n, true);
+  if (f == FaultProfile::kMinorityCrash) {
+    const std::size_t minority = (n - 1) / 2;
+    for (std::size_t i = 0; i < minority; ++i) correct[n - 1 - i] = false;
+  }
+  return correct;
+}
+
+NetConfig make_net_config(FaultProfile f, std::uint64_t seed) {
+  NetConfig cfg{};
+  cfg.seed = seed;
+  cfg.min_delay = 1;
+  cfg.max_delay = 12;
+  switch (f) {
+    case FaultProfile::kLossyLinks:
+      cfg.drop_num = 15;
+      break;
+    case FaultProfile::kLossyDup:
+      cfg.drop_num = 10;
+      cfg.dup_num = 20;
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+LatencySummary summarize_latencies(std::vector<std::uint64_t> all) {
+  LatencySummary s;
+  if (all.empty()) return s;
+  std::sort(all.begin(), all.end());
+  s.count = all.size();
+  s.mean = static_cast<double>(
+               std::accumulate(all.begin(), all.end(), std::uint64_t{0})) /
+           static_cast<double>(all.size());
+  s.p50 = all[all.size() / 2];
+  s.p99 = all[(all.size() * 99) / 100];
+  s.max = all.back();
+  return s;
+}
+
+std::uint64_t digest_history(const std::string& h) {
+  std::uint64_t d = 14695981039346656037ull;  // FNV-1a offset basis
+  for (unsigned char c : h) {
+    d ^= c;
+    d *= 1099511628211ull;
+  }
+  return d;
+}
+
+std::string ScenarioReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s/%s seed=%llu: %s commits=%zu time=%llu "
+                "thr=%.2f/kt p50=%llu p99=%llu",
+                workload.c_str(), fault.c_str(),
+                static_cast<unsigned long long>(seed),
+                ok() ? "OK" : "VIOLATION", committed,
+                static_cast<unsigned long long>(sim_time), commits_per_ktime,
+                static_cast<unsigned long long>(latency.p50),
+                static_cast<unsigned long long>(latency.p99));
+  return std::string(buf);
+}
+
+namespace {
+
+// -------------------------------------------------------------------------
+// Replicated-ledger harness: ReplicaNode<LedgerSM<Spec>> cluster + audit.
+// -------------------------------------------------------------------------
+
+template <typename Spec>
+class LedgerHarness {
+ public:
+  using SM = LedgerSM<Spec>;
+  using Node = ReplicaNode<SM>;
+
+  LedgerHarness(const ScenarioConfig& cfg, typename Spec::State initial)
+      : cfg_(cfg),
+        net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
+        correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
+    arm_fault_schedule(net_, cfg.fault);
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      nodes_.push_back(std::make_unique<Node>(net_, p, SM(initial)));
+    }
+  }
+
+  void submit_at(ProcessId p, std::uint64_t t, typename Spec::Op op) {
+    Node* node = nodes_[p].get();
+    net_.call_at(p, t, [node, op] { node->submit(op); });
+  }
+
+  /// Drains, audits agreement/settlement, fills the report skeleton.
+  /// `conserve` renders a violation for one node's machine state, or
+  /// returns std::nullopt when the invariant holds.
+  ScenarioReport finish(
+      const std::function<std::optional<std::string>(const SM&)>& conserve) {
+    drain_to_convergence(net_, [this] {
+      for (std::size_t p = 0; p < nodes_.size(); ++p) {
+        if (correct_[p]) nodes_[p]->sync();
+      }
+    });
+
+    ScenarioReport rep;
+    const std::size_t ref = reference_replica(correct_);
+    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault,
+                         cfg_.seed, cfg_.num_replicas, net_.now(),
+                         net_.stats(), nodes_[ref]->history(),
+                         nodes_[ref]->log().size(),
+                         nodes_[ref]->log().empty()
+                             ? 0
+                             : nodes_[ref]->log().back().time);
+    audit_replica_cluster(rep, nodes_, correct_);
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (auto v = conserve(nodes_[p]->machine())) {
+        rep.conservation = false;
+        rep.violations.push_back("replica " + std::to_string(p) + ": " + *v);
+      }
+    }
+    return rep;
+  }
+
+ private:
+  ScenarioConfig cfg_;
+  typename Node::Net net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> correct_;
+};
+
+// -------------------------------------------------------------------------
+// Workload scripts.
+// -------------------------------------------------------------------------
+
+// ERC20 transfer storm: every replica streams payments to rotating
+// destinations while an allowance ring (p approves p+1) feeds periodic
+// transferFrom spends — per-account commutation in the workload, global
+// total order underneath.
+ScenarioReport run_erc20_transfer_storm(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(n, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         n, std::vector<Amount>(n, 0)));
+  LedgerHarness<Erc20Spec> h(cfg, initial);
+
+  for (ProcessId p = 0; p < n; ++p) {
+    h.submit_at(p, 4 + p,
+                Erc20Op::approve(static_cast<ProcessId>((p + 1) % n), 50));
+  }
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < n; ++p) {
+      const std::uint64_t t = 15 + 13 * j + 3 * p;
+      if (j % 3 == 2) {
+        // Spender p draws on its ring allowance from p-1's account.
+        h.submit_at(p, t,
+                    Erc20Op::transfer_from(
+                        static_cast<AccountId>((p + n - 1) % n), p, 2));
+      } else {
+        h.submit_at(p, t,
+                    Erc20Op::transfer(
+                        static_cast<AccountId>((p + 1 + j) % n),
+                        1 + static_cast<Amount>(j % 3)));
+      }
+    }
+  }
+
+  const Amount expected = kInitial * n;
+  return h.finish([expected](const LedgerSM<Erc20Spec>& sm)
+                      -> std::optional<std::string> {
+    if (sm.state().total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(sm.state().total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
+// ERC721 mint/trade race: the treasury (account 0) mints by transferring
+// its tokens out; freshly minted tokens are then put up for a trade race
+// — the owner approves two spenders and both race transferFrom, with the
+// total order picking the winner (EIP-721 clears the approval on
+// transfer, so the loser deterministically gets FALSE).
+ScenarioReport run_erc721_mint_trade_race(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const std::size_t m = 2 * n;  // tokens, all owned by the treasury
+  Erc721State initial(n, std::vector<AccountId>(m, 0));
+  LedgerHarness<Erc721Spec> h(cfg, initial);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto dst = static_cast<AccountId>(1 + (j % (n - 1)));
+    h.submit_at(0, 6 + 7 * j,
+                Erc721Op::transfer_from(0, dst, static_cast<TokenId>(j)));
+  }
+  const std::size_t races = std::min(cfg.intensity, m);
+  for (std::size_t r = 0; r < races; ++r) {
+    const auto owner = static_cast<ProcessId>(1 + (r % (n - 1)));
+    const auto tok = static_cast<TokenId>(r);
+    const auto racer_a = static_cast<ProcessId>((owner + 1) % n);
+    const auto racer_b = static_cast<ProcessId>((owner + 2) % n);
+    h.submit_at(owner, 120 + 20 * r, Erc721Op::approve(racer_a, tok));
+    h.submit_at(owner, 122 + 20 * r,
+                Erc721Op::set_approval_for_all(racer_b, true));
+    h.submit_at(racer_a, 132 + 20 * r,
+                Erc721Op::transfer_from(owner, racer_a, tok));
+    h.submit_at(racer_b, 133 + 20 * r,
+                Erc721Op::transfer_from(owner, racer_b, tok));
+  }
+
+  return h.finish([n, m](const LedgerSM<Erc721Spec>& sm)
+                      -> std::optional<std::string> {
+    if (sm.state().num_tokens() != m) {
+      return "token count changed: " + std::to_string(sm.state().num_tokens());
+    }
+    for (TokenId t = 0; t < m; ++t) {
+      if (sm.state().owner_of(t) >= n) {
+        return "token " + std::to_string(t) + " owned by invalid account " +
+               std::to_string(sm.state().owner_of(t));
+      }
+    }
+    return std::nullopt;
+  });
+}
+
+// ERC777 approve/burn contention: the issuer authorizes two operators
+// that race operatorSend against the issuer account while recipients burn
+// (send to the sink account n-1); a mid-run revocation flips later sends
+// of the revoked operator to FALSE — deterministically, because the
+// revoke is totally ordered against the sends.
+ScenarioReport run_erc777_approve_burn(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kSupply = 1000;
+  Erc777State initial(n, /*deployer=*/0, kSupply);
+  LedgerHarness<Erc777Spec> h(cfg, initial);
+
+  const auto burn_sink = static_cast<AccountId>(n - 1);
+  h.submit_at(0, 5, Erc777Op::authorize_operator(1));
+  h.submit_at(0, 7, Erc777Op::authorize_operator(2));
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    h.submit_at(1, 15 + 11 * j, Erc777Op::operator_send(0, 1, 7));
+    h.submit_at(2, 16 + 11 * j, Erc777Op::operator_send(0, 2, 7));
+    h.submit_at(1, 20 + 11 * j, Erc777Op::send(burn_sink, 3));
+  }
+  h.submit_at(0, 90, Erc777Op::revoke_operator(1));
+
+  return h.finish([kSupply](const LedgerSM<Erc777Spec>& sm)
+                      -> std::optional<std::string> {
+    if (sm.state().total_supply() == kSupply) return std::nullopt;
+    return "supply " + std::to_string(sm.state().total_supply()) +
+           " != " + std::to_string(kSupply);
+  });
+}
+
+// -------------------------------------------------------------------------
+// dyntoken issuer reconfiguration: approvals grow and shrink account 0's
+// spender group mid-stream (the paper's dynamic σ_q(a)), spenders race
+// inside an epoch, and a revoked spender deterministically aborts.
+// -------------------------------------------------------------------------
+
+ScenarioReport run_dyntoken_reconfig(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 50;
+  DynTokenNode::Net net(n, make_net_config(cfg.fault, cfg.seed));
+  arm_fault_schedule(net, cfg.fault);
+
+  std::vector<std::unique_ptr<DynTokenNode>> nodes;
+  for (ProcessId p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<DynTokenNode>(
+        net, p, std::vector<Amount>(n, kInitial)));
+  }
+  const auto correct = correct_mask(n, cfg.fault);
+  std::size_t submitted = 0;
+  const auto submit_at = [&](ProcessId p, std::uint64_t t, DynOp op) {
+    DynTokenNode* node = nodes[p].get();
+    net.call_at(p, t, [node, op] { node->submit(op); });
+    if (correct[p]) ++submitted;
+  };
+
+  // Fast-path payments from every owner (consensus-free singleton groups).
+  for (ProcessId p = 0; p < n; ++p) {
+    submit_at(p, 6 + p, DynOp::transfer(static_cast<AccountId>((p + 1) % n), 5));
+  }
+  // Epoch 1: issuer approves p1; p1 spends under the 2-member group.
+  submit_at(0, 20, DynOp::approve(1, 20));
+  submit_at(1, 40, DynOp::transfer_from(0, 1, 10));
+  // Epoch 2: group grows to {0,1,2}; p1 and p2 race the same account.
+  submit_at(0, 60, DynOp::approve(2, 15));
+  submit_at(1, 80, DynOp::transfer_from(0, 3, 5));
+  submit_at(2, 81, DynOp::transfer_from(0, 2, 15));
+  // Epoch 3: revocation — p1's remaining allowance drops to 0, so its
+  // next spend aborts identically on every replica.
+  submit_at(0, 100, DynOp::approve(1, 0));
+  submit_at(1, 110, DynOp::transfer_from(0, 1, 5));
+  // Background fast-path load, scaled by intensity (p3.. stay quiet so
+  // the minority-crash profile never needs a crashed group member).
+  const std::size_t movers = std::min<std::size_t>(n, 3);
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < movers; ++p) {
+      submit_at(p, 130 + 9 * j + p,
+                DynOp::transfer(static_cast<AccountId>((p + 1 + j) % n), 1));
+    }
+  }
+
+  drain_to_convergence(net, [&nodes, &correct] {
+    for (std::size_t p = 0; p < nodes.size(); ++p) {
+      if (correct[p]) nodes[p]->sync();
+    }
+  });
+
+  ScenarioReport rep;
+  const std::size_t ref = reference_replica(correct);
+  fill_report_skeleton(rep, to_string(cfg.workload), cfg.fault, cfg.seed, n,
+                       net.now(), net.stats(), nodes[ref]->history(),
+                       nodes[ref]->processed_ops(),
+                       nodes[ref]->last_commit_time());
+  rep.submitted = submitted;
+  const Amount expected = kInitial * n;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (correct[p]) {
+      if (!nodes[p]->all_submissions_settled()) {
+        rep.settled = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " has unsettled submissions");
+      }
+      if (nodes[p]->history() != rep.history) {
+        rep.agreement = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " history diverges");
+      }
+    } else {
+      // Per-account prefix agreement: dyntoken replicas interleave
+      // accounts differently, so a crashed replica is compared per
+      // account log, not on the account-major rendering.
+      const auto& logs = nodes[p]->account_logs();
+      const auto& ref_logs = nodes[ref]->account_logs();
+      for (AccountId a = 0; a < logs.size(); ++a) {
+        if (logs[a].size() > ref_logs[a].size() ||
+            !std::equal(logs[a].begin(), logs[a].end(),
+                        ref_logs[a].begin())) {
+          rep.agreement = false;
+          rep.violations.push_back(
+              "crashed replica " + std::to_string(p) + " account " +
+              std::to_string(a) + " log is not a prefix");
+        }
+      }
+    }
+    if (nodes[p]->total_supply() != expected) {
+      rep.conservation = false;
+      rep.violations.push_back(
+          "replica " + std::to_string(p) + ": supply " +
+          std::to_string(nodes[p]->total_supply()) +
+          " != " + std::to_string(expected));
+    }
+  }
+  return rep;
+}
+
+// -------------------------------------------------------------------------
+// Consensus-free asset transfer over reliable broadcast: the CN = 1 end
+// of the hierarchy.  No total order exists (by design), so the committed
+// "history" of this commuting workload is its converged final state.
+// -------------------------------------------------------------------------
+
+ScenarioReport run_at_bcast_payments(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 100;
+  AtBcastNode::Net net(n, make_net_config(cfg.fault, cfg.seed));
+  arm_fault_schedule(net, cfg.fault);
+
+  std::vector<std::unique_ptr<AtBcastNode>> nodes;
+  for (ProcessId p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<AtBcastNode>(
+        net, p, std::vector<Amount>(n, kInitial)));
+  }
+  const auto correct = correct_mask(n, cfg.fault);
+  std::size_t submitted = 0;
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < n; ++p) {
+      AtBcastNode* node = nodes[p].get();
+      const auto dst = static_cast<AccountId>((p + 1 + j) % n);
+      const Amount v = 1 + j % 2;
+      net.call_at(p, 8 + 9 * j + 2 * p,
+                  [node, dst, v] { node->submit_transfer(dst, v); });
+      if (correct[p]) ++submitted;
+    }
+  }
+
+  // ERB's periodic retransmission IS its anti-entropy; there is no sync()
+  // to call (the extra drain rounds are no-ops once the queue empties —
+  // ERB writes off crashed peers via the crash oracle, so the network
+  // quiesces under every profile).
+  drain_to_convergence(net, /*sync_all=*/nullptr);
+
+  const std::size_t ref = reference_replica(correct);
+  std::string h = "applied=" + std::to_string(nodes[ref]->applied_count()) +
+                  " balances=[";
+  for (AccountId a = 0; a < n; ++a) {
+    h += (a ? "," : "") + std::to_string(nodes[ref]->balance(a));
+  }
+  h += "]\n";
+  ScenarioReport rep;
+  fill_report_skeleton(rep, to_string(cfg.workload), cfg.fault, cfg.seed, n,
+                       net.now(), net.stats(), std::move(h),
+                       nodes[ref]->applied_count(),
+                       nodes[ref]->last_applied_time());
+  rep.submitted = submitted;
+  const Amount expected = kInitial * n;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!correct[p]) continue;
+    if (nodes[p]->applied_count() != nodes[ref]->applied_count() ||
+        nodes[p]->balances() != nodes[ref]->balances()) {
+      rep.agreement = false;
+      rep.violations.push_back("replica " + std::to_string(p) +
+                               " final state diverges");
+    }
+    if (nodes[p]->parked_count() != 0) {
+      rep.settled = false;
+      rep.violations.push_back("replica " + std::to_string(p) + " has " +
+                               std::to_string(nodes[p]->parked_count()) +
+                               " parked transfers");
+    }
+    Amount sum = 0;
+    for (AccountId a = 0; a < n; ++a) sum += nodes[p]->balance(a);
+    if (sum != expected) {
+      rep.conservation = false;
+      rep.violations.push_back("replica " + std::to_string(p) + ": supply " +
+                               std::to_string(sum) +
+                               " != " + std::to_string(expected));
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const ScenarioConfig& cfg) {
+  // Workload scripts hardcode participants p0..p2 (operator races,
+  // dyntoken spender groups), so three replicas is the floor; the fault
+  // timings are tuned for the default of four.
+  TS_EXPECTS(cfg.num_replicas >= 3);
+  switch (cfg.workload) {
+    case Workload::kErc20TransferStorm:
+      return run_erc20_transfer_storm(cfg);
+    case Workload::kErc721MintTradeRace:
+      return run_erc721_mint_trade_race(cfg);
+    case Workload::kErc777ApproveBurn:
+      return run_erc777_approve_burn(cfg);
+    case Workload::kDynTokenReconfig:
+      return run_dyntoken_reconfig(cfg);
+    case Workload::kAtBcastPayments:
+      return run_at_bcast_payments(cfg);
+  }
+  TS_EXPECTS(false);
+  return {};
+}
+
+}  // namespace tokensync

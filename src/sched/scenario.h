@@ -1,0 +1,356 @@
+// Scenario driver — named distributed workloads × fault profiles over the
+// deterministic SimNet, with agreement + conservation checking.
+//
+// A scenario is a pure function of (workload, fault profile, seed): it
+// builds a replica cluster (ReplicaNode state machines, DynTokenNode, or
+// the broadcast asset transfer), arms a fault schedule (link loss,
+// duplication, a partition that heals, a minority crash), drives a
+// deterministic client script through SimNet::call_at, drains the network
+// to convergence, and audits the committed histories:
+//
+//   agreement     — every correct replica's committed history is
+//                   byte-identical; a crashed replica's history is a
+//                   prefix of the survivors' (per account for dyntoken);
+//   conservation  — token supply equals the initial supply on every
+//                   replica (ERC721: every token has exactly one valid
+//                   owner);
+//   settlement    — every operation submitted by a correct replica
+//                   committed.
+//
+// Determinism is inherited from SimNet: two runs of the same scenario
+// with the same seed produce byte-identical ScenarioReports (including
+// the committed history and the network statistics) — the property
+// tests/scenario_test.cc asserts and bench/bench_simnet.cc relies on for
+// reproducible measurements.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "net/replica.h"
+#include "net/simnet.h"
+#include "objects/token_race.h"
+
+namespace tokensync {
+
+/// The fault schedules a scenario can run under.  All of them are driven
+/// by the one seeded Rng (loss, duplication, delays) or by net-level
+/// control events at fixed simulated times (partition, heal, crash), so
+/// each profile is as reproducible as the fault-free run.
+enum class FaultProfile : std::uint8_t {
+  kNone,           ///< reliable links, uniform delays
+  kLossyLinks,     ///< 15% independent message loss
+  kLossyDup,       ///< 10% loss + 20% duplication (idempotence stress)
+  kPartitionHeal,  ///< majority/minority split at t=35, healed at t=700
+  kMinorityCrash,  ///< floor((n-1)/2) replicas crash-stop at t=45
+};
+
+/// The named workloads (ISSUE 2 tentpole set).
+enum class Workload : std::uint8_t {
+  kErc20TransferStorm,   ///< replicated ERC20: transfer storm + allowance races
+  kErc721MintTradeRace,  ///< replicated ERC721: treasury mints, spenders race
+  kErc777ApproveBurn,    ///< replicated ERC777: operator churn + burn contention
+  kDynTokenReconfig,     ///< dyntoken: issuer reconfigures spender groups
+  kAtBcastPayments,      ///< consensus-free asset transfer over reliable bcast
+};
+
+const char* to_string(FaultProfile f);
+const char* to_string(Workload w);
+const std::vector<FaultProfile>& all_fault_profiles();
+const std::vector<Workload>& all_workloads();
+
+/// Scenario parameters.  `intensity` scales the client script (roughly
+/// operations per replica); everything else about the script is a fixed
+/// deterministic function of (workload, intensity).
+struct ScenarioConfig {
+  Workload workload = Workload::kErc20TransferStorm;
+  FaultProfile fault = FaultProfile::kNone;
+  std::uint64_t seed = 1;
+  std::size_t num_replicas = 4;
+  std::size_t intensity = 6;
+};
+
+/// Simulated-time commit-latency summary (submit -> local commit on the
+/// submitting replica), merged over all correct replicas.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+/// The audited outcome of one scenario run.  Byte-identical across runs
+/// with the same ScenarioConfig.
+struct ScenarioReport {
+  std::string workload;
+  std::string fault;
+  std::uint64_t seed = 0;
+  std::size_t replicas = 0;
+
+  std::size_t submitted = 0;    ///< ops submitted by correct replicas
+  std::size_t committed = 0;    ///< committed entries on the reference replica
+  std::uint64_t sim_time = 0;   ///< simulated time at quiescence (audit incl.)
+  /// Committed ops per 1000 simulated time units, measured through the
+  /// reference replica's LAST local commit.  For fault-free runs this is
+  /// the workload span (the audit's sync rounds add no commits); under
+  /// faults the span extends to wherever the final decisions were
+  /// recovered, so it reflects what the replica actually experienced.
+  double commits_per_ktime = 0;
+  LatencySummary latency;
+  NetStats net;
+
+  bool agreement = false;
+  bool conservation = false;
+  bool settled = false;
+  std::vector<std::string> violations;
+
+  std::string history;          ///< reference replica's committed history
+  std::uint64_t history_digest = 0;
+
+  bool ok() const {
+    return agreement && conservation && settled && violations.empty();
+  }
+  std::string summary() const;
+};
+
+/// Runs one scenario to convergence and audits it.  Deterministic.
+ScenarioReport run_scenario(const ScenarioConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Harness building blocks (shared by run_scenario, the templated race
+// scenario below, bench_simnet and the examples).
+// ---------------------------------------------------------------------------
+
+/// Control-event timing of the built-in fault schedules.
+struct FaultTiming {
+  std::uint64_t partition_at = 35;
+  std::uint64_t heal_at = 700;
+  std::uint64_t crash_at = 45;
+};
+
+/// Replicas that stay correct under `f` (the last floor((n-1)/2) ids
+/// crash in kMinorityCrash; everyone is correct otherwise).
+std::vector<bool> correct_mask(std::size_t n, FaultProfile f);
+
+/// The seeded NetConfig for a profile (loss/duplication knobs).
+NetConfig make_net_config(FaultProfile f, std::uint64_t seed);
+
+/// Arms the control-event half of a profile on `net` (partition + heal,
+/// or the minority crash); kNone/kLossy*/kLossyDup need no control events.
+template <typename Msg>
+void arm_fault_schedule(SimNet<Msg>& net, FaultProfile f,
+                        FaultTiming t = FaultTiming{}) {
+  const std::size_t n = net.num_nodes();
+  if (f == FaultProfile::kPartitionHeal) {
+    const std::size_t majority = n - (n - 1) / 2;
+    std::vector<std::vector<ProcessId>> groups(2);
+    for (ProcessId p = 0; p < n; ++p) {
+      groups[p < majority ? 0 : 1].push_back(p);
+    }
+    net.schedule(t.partition_at, [&net, groups] { net.partition(groups); });
+    net.schedule(t.heal_at, [&net] { net.heal(); });
+  } else if (f == FaultProfile::kMinorityCrash) {
+    // The crash set is whatever correct_mask declares incorrect, so the
+    // schedule and the audits can never drift apart.
+    const std::vector<bool> correct = correct_mask(n, f);
+    net.schedule(t.crash_at, [&net, correct] {
+      for (ProcessId p = 0; p < correct.size(); ++p) {
+        if (!correct[p]) net.crash(p);
+      }
+    });
+  }
+}
+
+/// Runs the net to quiescence, then a fixed number of anti-entropy rounds
+/// (`sync_all` + drain) so replicas that missed decision disseminations
+/// converge.  The round count is fixed — not until-settled — because a
+/// replica can be unsettled for reasons syncing never fixes (its peers
+/// genuinely never decided), and a fixed schedule keeps the run a pure
+/// function of the seed.
+template <typename Net>
+void drain_to_convergence(Net& net, const std::function<void()>& sync_all,
+                          std::size_t budget = 4'000'000, int rounds = 10) {
+  net.run(budget);
+  for (int r = 0; r < rounds; ++r) {
+    if (sync_all) sync_all();
+    net.run(budget);
+  }
+}
+
+/// Merges per-replica commit latencies into the summary percentiles.
+LatencySummary summarize_latencies(std::vector<std::uint64_t> all);
+
+/// FNV-style digest of the canonical history string.
+std::uint64_t digest_history(const std::string& h);
+
+/// The lowest-id correct replica — the audit's reference for history
+/// comparisons.  At least one replica is always correct (crash profiles
+/// keep a majority).
+inline std::size_t reference_replica(const std::vector<bool>& correct) {
+  std::size_t r = 0;
+  while (r < correct.size() && !correct[r]) ++r;
+  TS_ASSERT(r < correct.size());
+  return r;
+}
+
+/// Fills the config/trace part every scenario report shares: identity,
+/// network stats, canonical history + digest, commit throughput, and the
+/// audit flags initialized to "clean" (the caller's audit loop then
+/// clears whichever invariant fails).
+/// `last_commit` is the reference replica's last commit time — the span
+/// throughput is measured over (0 falls back to sim_time).
+inline void fill_report_skeleton(ScenarioReport& rep, std::string workload,
+                                 FaultProfile fault, std::uint64_t seed,
+                                 std::size_t replicas,
+                                 std::uint64_t sim_time, const NetStats& net,
+                                 std::string history, std::size_t committed,
+                                 std::uint64_t last_commit = 0) {
+  rep.workload = std::move(workload);
+  rep.fault = to_string(fault);
+  rep.seed = seed;
+  rep.replicas = replicas;
+  rep.sim_time = sim_time;
+  rep.net = net;
+  rep.history = std::move(history);
+  rep.history_digest = digest_history(rep.history);
+  rep.committed = committed;
+  const std::uint64_t span = last_commit > 0 ? last_commit : sim_time;
+  if (span > 0) {
+    rep.commits_per_ktime = 1000.0 * static_cast<double>(committed) /
+                            static_cast<double>(span);
+  }
+  rep.agreement = true;
+  rep.conservation = true;
+  rep.settled = true;
+}
+
+/// The audit every ReplicaNode cluster shares: correct replicas must be
+/// settled and byte-identical to the reference history (their latencies
+/// merge into the summary); crashed replicas must hold a prefix of it.
+/// Workload-specific invariants (conservation, race validity) stay with
+/// the caller.
+template <typename Node>
+void audit_replica_cluster(ScenarioReport& rep,
+                           const std::vector<std::unique_ptr<Node>>& nodes,
+                           const std::vector<bool>& correct) {
+  std::vector<std::uint64_t> lats;
+  for (std::size_t p = 0; p < nodes.size(); ++p) {
+    const std::string h = nodes[p]->history();
+    if (correct[p]) {
+      rep.submitted += nodes[p]->submitted();
+      if (!nodes[p]->all_settled()) {
+        rep.settled = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " has unsettled submissions");
+      }
+      if (h != rep.history) {
+        rep.agreement = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " history diverges");
+      }
+      const auto& l = nodes[p]->commit_latencies();
+      lats.insert(lats.end(), l.begin(), l.end());
+    } else if (rep.history.compare(0, h.size(), h) != 0) {
+      // A crashed replica stops mid-log; what it DID commit must be a
+      // prefix of the survivors' history.
+      rep.agreement = false;
+      rep.violations.push_back("crashed replica " + std::to_string(p) +
+                               " history is not a prefix");
+    }
+  }
+  rep.latency = summarize_latencies(std::move(lats));
+}
+
+// ---------------------------------------------------------------------------
+// Replicated token-race consensus, end-to-end over the network — the
+// templated scenario that runs ANY TokenRaceSpec (k-AT, ERC721, ERC777)
+// through ReplicaNode<RaceSM<Spec>>.
+// ---------------------------------------------------------------------------
+
+/// Runs the k-participant token race over SimNet under `fault`: replica i
+/// submits write(proposal_i) then its race step; every correct replica
+/// must derive the SAME decision for every participant whose race step
+/// committed, and that decision must be one of the submitted proposals
+/// (agreement + validity, now across a faulty network instead of a
+/// shared-memory interleaving).  A crashed replica stops submitting at
+/// crash time: its register write (scheduled before the crash point) can
+/// still commit and appear in every history, while its race step
+/// (scheduled after) is lost — so the race is decided among the
+/// survivors' steps.
+template <TokenRaceSpec Spec>
+ScenarioReport run_token_race_scenario(std::size_t k, FaultProfile fault,
+                                       std::uint64_t seed,
+                                       const std::string& name,
+                                       Spec spec = Spec{}) {
+  using Node = ReplicaNode<RaceSM<Spec>>;
+  typename Node::Net net(k, make_net_config(fault, seed));
+  arm_fault_schedule(net, fault);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (ProcessId p = 0; p < k; ++p) {
+    nodes.push_back(
+        std::make_unique<Node>(net, p, RaceSM<Spec>(k, spec)));
+  }
+  const auto correct = correct_mask(k, fault);
+
+  // proposal_i = 100 + i; write well before racing so the per-origin FIFO
+  // of the broadcast puts every register write ahead of its race step.
+  for (ProcessId p = 0; p < k; ++p) {
+    Node* node = nodes[p].get();
+    const Amount proposal = 100 + p;
+    net.call_at(p, 5 + p, [node, proposal] {
+      node->submit(RaceCmd::write(proposal));
+    });
+    net.call_at(p, 60 + 3 * p, [node] { node->submit(RaceCmd::race()); });
+  }
+
+  drain_to_convergence(net, [&nodes, &correct] {
+    for (ProcessId p = 0; p < nodes.size(); ++p) {
+      if (correct[p]) nodes[p]->sync();
+    }
+  });
+
+  ScenarioReport rep;
+  const std::size_t ref = reference_replica(correct);
+  fill_report_skeleton(rep, name, fault, seed, k, net.now(), net.stats(),
+                       nodes[ref]->history(), nodes[ref]->log().size(),
+                       nodes[ref]->log().empty()
+                           ? 0
+                           : nodes[ref]->log().back().time);
+  audit_replica_cluster(rep, nodes, correct);
+
+  // Cross-participant agreement on the decided value, and validity.
+  // (Conservation stays at the skeleton's "clean": the race state is the
+  // whole object; there is nothing to conserve beyond agreement on it.)
+  std::optional<Amount> decided;
+  for (ProcessId i = 0; i < k; ++i) {
+    const auto d = nodes[ref]->machine().decision(i);
+    if (!d) continue;
+    if (d->bottom) {
+      rep.violations.push_back("participant " + std::to_string(i) +
+                               " decided bottom");
+      continue;
+    }
+    if (!decided) decided = d->value;
+    if (*decided != d->value) {
+      rep.violations.push_back("participants disagree: " +
+                               std::to_string(*decided) + " vs " +
+                               std::to_string(d->value));
+    }
+    if (d->value < 100 || d->value >= 100 + k) {
+      rep.violations.push_back("decided value " + std::to_string(d->value) +
+                               " was never proposed");
+    }
+  }
+  return rep;
+}
+
+}  // namespace tokensync

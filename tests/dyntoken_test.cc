@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "dyntoken/dyntoken.h"
+#include "sched/scenario.h"
 
 namespace tokensync {
 namespace {
@@ -23,7 +24,15 @@ struct Cluster {
     }
   }
 
-  void settle(std::size_t budget = 4000000) { net.run(budget); }
+  // Runs to quiescence, then forces convergence with the harness's
+  // bounded anti-entropy rounds: a replica that missed kDecide
+  // disseminations (drops) queries its next unprocessed slots and pulls
+  // the chain in.
+  void settle(std::size_t budget = 4000000) {
+    drain_to_convergence(net, [this] {
+      for (const auto& n : nodes) n->sync();
+    }, budget);
+  }
 
   bool all_settled() const {
     for (const auto& n : nodes) {
@@ -33,34 +42,9 @@ struct Cluster {
   }
 };
 
-DynOp transfer(AccountId dst, Amount v) {
-  DynOp op;
-  op.kind = DynOp::Kind::kTransfer;
-  op.dst = dst;
-  op.amount = v;
-  return op;
-}
-
-DynOp transfer_from(AccountId src, AccountId dst, Amount v) {
-  DynOp op;
-  op.kind = DynOp::Kind::kTransferFrom;
-  op.src = src;
-  op.dst = dst;
-  op.amount = v;
-  return op;
-}
-
-DynOp approve(ProcessId spender, Amount v) {
-  DynOp op;
-  op.kind = DynOp::Kind::kApprove;
-  op.spender = spender;
-  op.amount = v;
-  return op;
-}
-
 TEST(DynToken, SingleOwnerFastPathTransfers) {
   Cluster c(3, {30, 0, 0}, NetConfig{.seed = 1});
-  EXPECT_TRUE(c.nodes[0]->submit(transfer(1, 10)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::transfer(1, 10)));
   c.settle();
   EXPECT_TRUE(c.all_settled());
   for (const auto& n : c.nodes) {
@@ -77,7 +61,7 @@ TEST(DynToken, SingleOwnerGroupIsJustTheOwner) {
 
 TEST(DynToken, ApproveGrowsTheGroupEverywhere) {
   Cluster c(3, {30, 0, 0}, NetConfig{.seed = 2});
-  EXPECT_TRUE(c.nodes[0]->submit(approve(2, 12)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(2, 12)));
   c.settle();
   for (const auto& n : c.nodes) {
     EXPECT_EQ(n->allowance(0, 2), 12u);
@@ -87,9 +71,9 @@ TEST(DynToken, ApproveGrowsTheGroupEverywhere) {
 
 TEST(DynToken, ApprovedSpenderMovesFundsViaGroupConsensus) {
   Cluster c(3, {30, 0, 0}, NetConfig{.seed = 3});
-  EXPECT_TRUE(c.nodes[0]->submit(approve(2, 12)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(2, 12)));
   c.settle();
-  EXPECT_TRUE(c.nodes[2]->submit(transfer_from(0, 2, 12)));
+  EXPECT_TRUE(c.nodes[2]->submit(DynOp::transfer_from(0, 2, 12)));
   c.settle();
   EXPECT_TRUE(c.all_settled());
   for (const auto& n : c.nodes) {
@@ -108,11 +92,11 @@ TEST(DynToken, RacingSpendersExactlyOneWins) {
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     Cluster c(4, {10, 0, 0, 0},
               NetConfig{.seed = seed, .min_delay = 1, .max_delay = 30});
-    EXPECT_TRUE(c.nodes[0]->submit(approve(1, 8)));
-    EXPECT_TRUE(c.nodes[0]->submit(approve(2, 8)));
+    EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(1, 8)));
+    EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(2, 8)));
     c.settle();
-    EXPECT_TRUE(c.nodes[1]->submit(transfer_from(0, 1, 8)));
-    EXPECT_TRUE(c.nodes[2]->submit(transfer_from(0, 2, 8)));
+    EXPECT_TRUE(c.nodes[1]->submit(DynOp::transfer_from(0, 1, 8)));
+    EXPECT_TRUE(c.nodes[2]->submit(DynOp::transfer_from(0, 2, 8)));
     c.settle(8000000);
     EXPECT_TRUE(c.all_settled()) << "seed " << seed;
 
@@ -139,18 +123,17 @@ TEST(DynToken, ConservationAndConvergenceUnderRandomLoad) {
     const ProcessId who = static_cast<ProcessId>(rng.below(n));
     switch (rng.below(3)) {
       case 0:
-        c.nodes[who]->submit(
-            transfer(static_cast<AccountId>(rng.below(n)), rng.below(20)));
+        c.nodes[who]->submit(DynOp::transfer(
+            static_cast<AccountId>(rng.below(n)), rng.below(20)));
         break;
       case 1:
-        c.nodes[who]->submit(
-            approve(static_cast<ProcessId>(rng.below(n)), rng.below(15)));
+        c.nodes[who]->submit(DynOp::approve(
+            static_cast<ProcessId>(rng.below(n)), rng.below(15)));
         break;
       default:
-        c.nodes[who]->submit(
-            transfer_from(static_cast<AccountId>(rng.below(n)),
-                          static_cast<AccountId>(rng.below(n)),
-                          rng.below(20)));
+        c.nodes[who]->submit(DynOp::transfer_from(
+            static_cast<AccountId>(rng.below(n)),
+            static_cast<AccountId>(rng.below(n)), rng.below(20)));
         break;
     }
     for (int s = 0; s < 40; ++s) c.net.step();
@@ -172,13 +155,13 @@ TEST(DynToken, EpochChangeMidStream) {
   // Owner approves p1, p1 spends; owner then approves p2 (new epoch) and
   // p2 spends — groups change across slots, replicas stay convergent.
   Cluster c(3, {40, 0, 0}, NetConfig{.seed = 23});
-  EXPECT_TRUE(c.nodes[0]->submit(approve(1, 10)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(1, 10)));
   c.settle();
-  EXPECT_TRUE(c.nodes[1]->submit(transfer_from(0, 1, 10)));
+  EXPECT_TRUE(c.nodes[1]->submit(DynOp::transfer_from(0, 1, 10)));
   c.settle();
-  EXPECT_TRUE(c.nodes[0]->submit(approve(2, 5)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(2, 5)));
   c.settle();
-  EXPECT_TRUE(c.nodes[2]->submit(transfer_from(0, 2, 5)));
+  EXPECT_TRUE(c.nodes[2]->submit(DynOp::transfer_from(0, 2, 5)));
   c.settle();
   EXPECT_TRUE(c.all_settled());
   for (const auto& n : c.nodes) {
@@ -192,9 +175,9 @@ TEST(DynToken, LossySpendStillSettles) {
   Cluster c(3, {20, 0, 0},
             NetConfig{.seed = 29, .min_delay = 1, .max_delay = 10,
                       .drop_num = 15, .drop_den = 100});
-  EXPECT_TRUE(c.nodes[0]->submit(approve(1, 15)));
+  EXPECT_TRUE(c.nodes[0]->submit(DynOp::approve(1, 15)));
   c.settle(6000000);
-  EXPECT_TRUE(c.nodes[1]->submit(transfer_from(0, 1, 15)));
+  EXPECT_TRUE(c.nodes[1]->submit(DynOp::transfer_from(0, 1, 15)));
   c.settle(6000000);
   EXPECT_TRUE(c.all_settled());
   for (const auto& n : c.nodes) {
