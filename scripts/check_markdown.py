@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Markdown link/reference checker (no network, no deps).
 
-Checks, for each tracked *.md file passed on the command line (or the
-default doc set):
+Checks, for each *.md file passed on the command line (default: every
+*.md in the repo, discovered recursively — build trees and dot-dirs
+skipped — so new docs are covered the moment they exist):
   1. every relative markdown link [text](target) resolves to a file or
      directory in the repo (http(s) links are not fetched);
   2. every backtick-quoted repo path (`src/...`, `tests/...`,
@@ -17,9 +18,20 @@ import re
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_DOCS = ["README.md", "DESIGN.md", "CHANGES.md", "EXPERIMENTS.md",
-                "ISSUE.md", "ROADMAP.md", "PAPER.md", "PAPERS.md",
-                "SNIPPETS.md"]
+SKIP_DIRS = {".git", ".github", "node_modules"}
+
+
+def discover_docs():
+    docs = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = sorted(d for d in dirs
+                         if d not in SKIP_DIRS
+                         and not d.startswith(".")
+                         and not d.startswith("build"))
+        for f in sorted(files):
+            if f.endswith(".md"):
+                docs.append(os.path.relpath(os.path.join(root, f), REPO))
+    return docs
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_PATH_RE = re.compile(
@@ -55,7 +67,10 @@ def check_file(relpath, findings):
             if target.startswith(("http://", "https://", "mailto:", "#")):
                 continue
             target = target.split("#", 1)[0]
-            if not os.path.exists(os.path.join(REPO, target)):
+            # Relative links resolve against the doc's own directory
+            # (docs live in subdirectories too, e.g. bench/results/).
+            base = os.path.dirname(path)
+            if not os.path.exists(os.path.join(base, target)):
                 findings.append(f"{relpath}:{i}: broken link -> {target}")
         for m in CODE_PATH_RE.finditer(line):
             raw = m.group(1).rstrip(".,;:")
@@ -70,8 +85,7 @@ def check_file(relpath, findings):
 
 
 def main():
-    docs = sys.argv[1:] or [d for d in DEFAULT_DOCS
-                            if os.path.exists(os.path.join(REPO, d))]
+    docs = sys.argv[1:] or discover_docs()
     findings = []
     for doc in docs:
         check_file(doc, findings)

@@ -58,6 +58,7 @@
 #include "common/checked.h"
 #include "common/error.h"
 #include "common/ids.h"
+#include "core/footprint.h"
 #include "objects/object.h"
 
 namespace tokensync {
@@ -72,26 +73,9 @@ inline void simulated_validation(unsigned units) {
   }
 }
 
-/// An operation's account footprint — the σ-group it reads or writes.
-/// Token operations touch at most a handful of accounts; `all` marks
-/// whole-state operations (totalSupply) that must lock every shard.
-struct Footprint {
-  static constexpr std::size_t kMaxAccounts = 4;
-
-  std::array<AccountId, kMaxAccounts> ids{};
-  std::size_t n = 0;
-  bool all = false;
-
-  void clear() noexcept {
-    n = 0;
-    all = false;
-  }
-  void add(AccountId a) {
-    TS_ASSERT(n < kMaxAccounts);
-    ids[n++] = a;
-  }
-  void set_all() noexcept { all = true; }
-};
+// Footprint itself lives in core/footprint.h — the batch planner
+// (core/planner.h) and the parallel executor (src/exec/) schedule over
+// the same σ-sets this ledger locks.
 
 /// Contract a token supplies to become a ConcurrentLedger instantiation.
 ///
@@ -236,6 +220,24 @@ class ConcurrentLedger {
 
   std::size_t num_shards() const noexcept { return num_shards_; }
   std::size_t num_accounts() const { return S::num_accounts(state_); }
+
+  /// The σ-footprint of `op` against the CURRENT state, computed lock-free
+  /// (the ConcurrentTokenSpec contract).  This is what the batch planner
+  /// (core/planner.h plan_batch, via the src/exec/ ConflictPlanner)
+  /// schedules over; for state-dependent σ it is a snapshot that may
+  /// drift, which is exactly why such operations escalate off the
+  /// parallel fast path (DESIGN.md §9).
+  void footprint_of(ProcessId caller, const Op& op, Footprint& fp) const {
+    fp.clear();
+    S::footprint(state_, caller, op, fp);
+  }
+
+  /// The lock shard guarding account `a` — exposed so the executor can
+  /// sort a wave by home shard (locality) without duplicating the
+  /// account→shard map.
+  std::uint32_t shard_of(AccountId a) const noexcept {
+    return static_cast<std::uint32_t>(a % num_shards_);
+  }
 
  private:
   struct Shard {

@@ -1,0 +1,62 @@
+// σ-footprints as a value type — the paper's σ(a) made schedulable.
+//
+// A footprint names the accounts one operation reads or writes: the
+// σ-group the paper proves is the irreducible unit of synchronization
+// (operations with disjoint footprints commute, Theorem 3's observation;
+// operations whose footprints collide must serialize).  Two consumers
+// share this type:
+//
+//   * atomic/ledger.h maps footprints onto lock shards — the SPATIAL use
+//     (which locks to take);
+//   * core/planner.h's plan_batch partitions a batch's footprints into a
+//     conflict graph and a wave schedule — the TEMPORAL use (which
+//     operations may run in the same parallel wave), consumed by the
+//     src/exec/ parallel executor.
+//
+// It lives in core/ (with the paper's other state-analysis machinery,
+// state_class.h and the planner) so both substrates can include it
+// without depending on each other.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// An operation's account footprint — the σ-group it reads or writes.
+/// Token operations touch at most a handful of accounts; `all` marks
+/// whole-state operations (totalSupply) that must lock every shard.
+struct Footprint {
+  static constexpr std::size_t kMaxAccounts = 4;
+
+  std::array<AccountId, kMaxAccounts> ids{};
+  std::size_t n = 0;
+  bool all = false;
+
+  void clear() noexcept {
+    n = 0;
+    all = false;
+  }
+  void add(AccountId a) {
+    TS_ASSERT(n < kMaxAccounts);
+    ids[n++] = a;
+  }
+  void set_all() noexcept { all = true; }
+
+  /// True iff the two footprints share an account (or either covers the
+  /// whole state) — the conflict relation of the batch planner.
+  bool intersects(const Footprint& o) const noexcept {
+    if (all || o.all) return true;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < o.n; ++j) {
+        if (ids[i] == o.ids[j]) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace tokensync

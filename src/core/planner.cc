@@ -1,6 +1,9 @@
 #include "core/planner.h"
 
+#include <algorithm>
+#include <array>
 #include <sstream>
+#include <unordered_map>
 
 namespace tokensync {
 
@@ -40,6 +43,76 @@ std::string SyncPlan::to_string() const {
     }
   }
   return os.str();
+}
+
+std::vector<std::vector<std::size_t>> BatchSchedule::grouped() const {
+  std::vector<std::vector<std::size_t>> out(num_waves);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    out[wave[i]].push_back(i);  // i ascending ⇒ waves are index-sorted
+  }
+  return out;
+}
+
+std::string BatchSchedule::to_string() const {
+  std::ostringstream os;
+  os << wave.size() << " ops in " << num_waves << " waves ("
+     << escalated << " escalated, " << conflict_edges
+     << " conflict edges, parallelism " << parallelism() << ")";
+  return os.str();
+}
+
+BatchSchedule plan_batch(const std::vector<Footprint>& fps,
+                         const std::vector<bool>& escalate) {
+  BatchSchedule s;
+  s.wave.resize(fps.size());
+  // last_touch[a]: the latest wave so far containing an op touching a.
+  // Only point lookups/updates — never iterated — so the unordered map
+  // cannot perturb determinism.
+  std::unordered_map<AccountId, std::uint32_t> last_touch;
+  std::unordered_map<AccountId, std::size_t> touch_count;
+  // Encoded as wave+1 with 0 = "none", so plain unsigned arithmetic works.
+  std::uint32_t last_barrier = 0;
+  std::uint32_t max_wave = 0;
+  std::size_t barriers_so_far = 0;
+
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    const bool barrier = fps[i].all || (i < escalate.size() && escalate[i]);
+    std::uint32_t w;  // encoded wave+1
+    if (barrier) {
+      // Conflicts with every predecessor: first wave after everything.
+      w = max_wave + 1;
+      s.conflict_edges += i;
+      last_barrier = w;
+      ++barriers_so_far;
+      ++s.escalated;
+    } else {
+      w = last_barrier;
+      s.conflict_edges += barriers_so_far;
+      // Dedup the (tiny) footprint so a self-transfer's repeated account
+      // is not counted as a conflict with itself.
+      std::array<AccountId, Footprint::kMaxAccounts> uniq;
+      std::size_t un = 0;
+      for (std::size_t j = 0; j < fps[i].n; ++j) {
+        const AccountId a = fps[i].ids[j];
+        if (std::find(uniq.begin(), uniq.begin() + un, a) ==
+            uniq.begin() + un) {
+          uniq[un++] = a;
+        }
+      }
+      for (std::size_t j = 0; j < un; ++j) {
+        if (auto it = last_touch.find(uniq[j]); it != last_touch.end()) {
+          w = std::max(w, it->second);
+        }
+        s.conflict_edges += touch_count[uniq[j]]++;
+      }
+      ++w;  // strictly after every conflicting predecessor
+      for (std::size_t j = 0; j < un; ++j) last_touch[uniq[j]] = w;
+    }
+    s.wave[i] = w - 1;
+    max_wave = std::max(max_wave, w);
+  }
+  s.num_waves = max_wave;
+  return s;
 }
 
 }  // namespace tokensync

@@ -4,16 +4,26 @@
 // synchronization requirements can be readily deduced from the current
 // object's state q".
 //
-// Given a token state, the planner derives, per account, the process group
-// that must synchronize for spends from that account, and classifies each
-// account as consensus-free (single spender) or group-consensus (|σ| > 1).
-// The dyntoken runtime (src/dyntoken) consumes exactly this plan.
+// Two plans live here:
+//
+//   * plan_synchronization — per ACCOUNT: which process group must agree
+//     on spends from each account, derived from σ_q(a) (consumed by the
+//     dyntoken runtime, src/dyntoken);
+//   * plan_batch — per BATCH: given each operation's σ-footprint,
+//     partition the batch's conflict graph into parallel waves
+//     (operations with pairwise-disjoint footprints commute, so a wave
+//     executes in any order — and on any number of threads — with one
+//     deterministic outcome), serializing the operations that cannot
+//     join the fast path as barrier waves (consumed by the src/exec/
+//     parallel executor; DESIGN.md §9 carries the argument).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/footprint.h"
 #include "core/state_class.h"
 #include "objects/erc20.h"
 
@@ -45,5 +55,61 @@ struct SyncPlan {
 
 /// Derives the plan for state q.
 SyncPlan plan_synchronization(const Erc20State& q);
+
+// ---------------------------------------------------------------------------
+// Batch planning: σ-footprints → conflict graph → wave schedule.
+// ---------------------------------------------------------------------------
+
+/// A wave schedule for one batch.  Invariants (tests/planner_test.cc):
+///
+///   * ORDER — any two conflicting operations (intersecting footprints,
+///     or either side escalated) are in different waves, the earlier
+///     submission in the earlier wave.  Executing waves in index order
+///     therefore preserves every conflicting pair's submission order,
+///     which makes the whole schedule equivalent to the sequential
+///     execution of the batch in submission order (non-conflicting
+///     operations commute — Theorem 3's observation);
+///   * ISOLATION — an escalated operation is ALONE in its wave (it
+///     conflicts with everything), i.e. it is a barrier: the sequential
+///     lane between parallel waves;
+///   * GREED — each operation takes the earliest wave consistent with
+///     ORDER, so num_waves equals 1 + the length of the longest conflict
+///     chain in submission order.
+struct BatchSchedule {
+  /// wave[i]: the wave operation i executes in.
+  std::vector<std::uint32_t> wave;
+  std::size_t num_waves = 0;
+  /// Operations serialized as barrier waves (escalated by the caller or
+  /// whole-state footprints).
+  std::size_t escalated = 0;
+  /// Conflict-graph edges, counted per shared account (a pair sharing two
+  /// accounts counts twice); a whole-state/escalated op contributes one
+  /// edge per predecessor.  A cheap density signal, not an exact pair
+  /// count.
+  std::size_t conflict_edges = 0;
+
+  std::size_t size() const noexcept { return wave.size(); }
+  /// Mean operations per wave — the schedule's available parallelism
+  /// (batch of n commuting ops → n; fully serial batch → 1).
+  double parallelism() const noexcept {
+    return num_waves ? static_cast<double>(wave.size()) /
+                           static_cast<double>(num_waves)
+                     : 0.0;
+  }
+  /// Operation indices grouped by wave, ascending within each wave (the
+  /// deterministic execution order contract of src/exec/).
+  std::vector<std::vector<std::size_t>> grouped() const;
+
+  std::string to_string() const;
+};
+
+/// Greedy earliest-wave scheduling of one batch.  `fps[i]` is operation
+/// i's σ-footprint; `escalate[i]` forces operation i onto the sequential
+/// lane (treated as conflicting with every other operation — used by the
+/// executor for operations whose footprint is state-dependent and can
+/// drift between planning and execution).  `escalate` may be empty
+/// (nothing escalates beyond whole-state footprints).
+BatchSchedule plan_batch(const std::vector<Footprint>& fps,
+                         const std::vector<bool>& escalate = {});
 
 }  // namespace tokensync

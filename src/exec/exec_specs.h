@@ -1,0 +1,50 @@
+// ExecTraits instantiations for the token family — the per-spec
+// escalation rules the ConflictPlanner consults (DESIGN.md §9).
+//
+//   ERC20  — every footprint is argument-only ({caller,dst}, {src,dst},
+//            {caller}); totalSupply's σ = A escalates via its whole-state
+//            footprint, not via a trait.  Default traits apply.
+//   ERC777 — same shape as ERC20 (operators replace allowances, but the
+//            operator matrix row lives on the holder's account, named by
+//            the arguments).  Default traits apply.
+//   ERC721 — the token-keyed operations (approve, ownerOf, getApproved)
+//            are guarded by the token's CURRENT owner's account, read
+//            from state: their planned footprint can be stale by the time
+//            their wave runs, so they escalate.  transferFrom,
+//            setApprovalForAll and isApprovedForAll name their σ in the
+//            arguments and stay on the fast path.
+#pragma once
+
+#include "atomic/ledger_specs.h"
+#include "exec/conflict_planner.h"
+#include "exec/parallel_executor.h"
+#include "exec/txpool.h"
+
+namespace tokensync {
+
+template <>
+struct ExecTraits<Erc721LedgerSpec> {
+  static bool stable_footprint(const Erc721Op& op) {
+    switch (op.kind) {
+      case Erc721Op::Kind::kTransferFrom:        // σ = {src, dst}
+      case Erc721Op::Kind::kSetApprovalForAll:   // σ = {caller}
+      case Erc721Op::Kind::kIsApprovedForAll:    // σ = {holder}
+        return true;
+      case Erc721Op::Kind::kApprove:             // σ = {owner_of(token)}
+      case Erc721Op::Kind::kOwnerOf:             //   — state-dependent,
+      case Erc721Op::Kind::kGetApproved:         //   escalate
+        return false;
+    }
+    return false;
+  }
+};
+
+/// Ready-to-use executor pipelines of the token family.
+using Erc20Executor = ParallelExecutor<Erc20LedgerSpec>;
+using Erc721Executor = ParallelExecutor<Erc721LedgerSpec>;
+using Erc777Executor = ParallelExecutor<Erc777LedgerSpec>;
+using Erc20TxPool = TxPool<Erc20LedgerSpec>;
+using Erc721TxPool = TxPool<Erc721LedgerSpec>;
+using Erc777TxPool = TxPool<Erc777LedgerSpec>;
+
+}  // namespace tokensync

@@ -1,0 +1,167 @@
+// ParallelExecutor<Spec> — commutativity-aware batch execution onto a
+// ConcurrentLedger (the ISSUE 3 tentpole; DESIGN.md §9).
+//
+// Pipeline: a batch (from TxPool, in submission order) is planned by
+// ConflictPlanner into waves — commuting operations side by side,
+// conflicting operations ordered across waves, escalated operations as
+// singleton barrier waves — and each wave fans out over a ThreadPool
+// onto the ledger.  Within a wave every pair of footprints is disjoint,
+// so the operations commute: the final state and every response are the
+// same for ANY thread count and ANY cross-thread interleaving.  Waves
+// execute in index order.  Together: same batch ⇒ byte-identical ledger
+// state, whether threads = 1 or 8 — the determinism contract
+// tests/exec_test.cc asserts and the scenario audits re-check.
+//
+// Two wave-partitioning modes, both deterministic in OUTCOME:
+//   * static (default) — each worker takes a fixed contiguous chunk of
+//     the wave (after an optional per-wave stable sort by home shard, so
+//     a worker's chunk clusters on few locks).  The op→thread map is
+//     itself reproducible, which makes schedules debuggable;
+//   * dynamic — workers pull the next index from a shared atomic
+//     counter (better balance under skewed per-op cost).  The op→thread
+//     map varies run to run, but commutation makes the state/response
+//     outcome identical — asserted by the same tests.
+//
+// The executor amortizes nothing across batches and holds no state of
+// its own beyond the pool: determinism lives in the schedule, isolation
+// in the ledger's shard locks (a wave's disjoint footprints never
+// contend, but may share a shard when num_shards < num_accounts — the
+// lock serializes them and commutation keeps the outcome fixed).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atomic/ledger.h"
+#include "core/planner.h"
+#include "exec/conflict_planner.h"
+#include "exec/thread_pool.h"
+
+namespace tokensync {
+
+struct ExecOptions {
+  /// Worker threads; 1 executes inline (no pool, no handshakes).
+  std::size_t threads = 1;
+  /// Static chunking (true) vs dynamic work pulling (false); see file
+  /// comment.  Both yield the same final state and responses.
+  bool deterministic = true;
+  /// Stable-sort each wave by the primary account's home shard before
+  /// chunking, clustering each worker's locks (static mode only).
+  bool sort_waves_by_shard = false;
+};
+
+/// The outcome of one executed batch.
+struct ExecReport {
+  /// Responses in batch (submission) order — identical to the sequential
+  /// execution's responses.
+  std::vector<Response> responses;
+  /// The schedule the batch ran under (waves, escalations, conflict
+  /// density).
+  BatchSchedule schedule;
+
+  std::size_t ops() const noexcept { return responses.size(); }
+  std::string summary() const { return schedule.to_string(); }
+};
+
+template <ConcurrentTokenSpec S>
+class ParallelExecutor {
+ public:
+  using Ledger = ConcurrentLedger<S>;
+  using BatchOp = typename Ledger::BatchOp;
+
+  ParallelExecutor(Ledger& ledger, ExecOptions opts)
+      : ledger_(ledger), opts_(opts) {
+    if (opts_.threads == 0) opts_.threads = 1;
+    if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  }
+
+  const ExecOptions& options() const noexcept { return opts_; }
+
+  /// Plans and executes one batch; returns when every operation applied.
+  ExecReport execute(const std::vector<BatchOp>& batch) {
+    ExecReport rep;
+    rep.schedule = ConflictPlanner<S>::plan(ledger_, batch);
+    rep.responses.resize(batch.size());
+    for (std::vector<std::size_t>& wave : rep.schedule.grouped()) {
+      run_wave(batch, wave, rep.responses);
+    }
+    return rep;
+  }
+
+ private:
+  /// Executes one wave.  `wave` holds batch indices, ascending; the ops'
+  /// footprints are pairwise disjoint (or the wave is a singleton
+  /// barrier), so any partition over threads commutes to one outcome.
+  void run_wave(const std::vector<BatchOp>& batch,
+                std::vector<std::size_t>& wave,
+                std::vector<Response>& out) {
+    // Singleton waves — barriers (escalated / whole-state ops) and
+    // trickles — run on the calling thread: the sequential lane.
+    if (wave.size() == 1 || opts_.threads == 1) {
+      for (const std::size_t i : wave) {
+        out[i] = ledger_.apply(batch[i].caller, batch[i].op);
+      }
+      return;
+    }
+    if (opts_.deterministic) {
+      if (opts_.sort_waves_by_shard) sort_by_home_shard(batch, wave);
+      // Fixed contiguous chunks: worker w applies wave[lo_w, hi_w).
+      const std::size_t per =
+          (wave.size() + opts_.threads - 1) / opts_.threads;
+      pool_->run([&](std::size_t w) {
+        const std::size_t lo = std::min(w * per, wave.size());
+        const std::size_t hi = std::min(lo + per, wave.size());
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t i = wave[k];
+          out[i] = ledger_.apply(batch[i].caller, batch[i].op);
+        }
+      });
+    } else {
+      // Dynamic pulling: balances skewed per-op cost; outcome unchanged
+      // by commutation.
+      std::atomic<std::size_t> next{0};
+      pool_->run([&](std::size_t /*w*/) {
+        for (;;) {
+          const std::size_t k =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= wave.size()) return;
+          const std::size_t i = wave[k];
+          out[i] = ledger_.apply(batch[i].caller, batch[i].op);
+        }
+      });
+    }
+  }
+
+  /// Per-wave sort by the footprint's first account's home shard, ties
+  /// broken by batch index — one footprint computation per op, and the
+  /// (shard, index) key makes the order total, so same-shard ops keep
+  /// submission order (deterministic).
+  void sort_by_home_shard(const std::vector<BatchOp>& batch,
+                          std::vector<std::size_t>& wave) {
+    std::vector<std::pair<std::uint32_t, std::size_t>> keys;
+    keys.reserve(wave.size());
+    for (const std::size_t i : wave) {
+      keys.emplace_back(home_shard(batch[i]), i);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t k = 0; k < wave.size(); ++k) wave[k] = keys[k].second;
+  }
+
+  std::uint32_t home_shard(const BatchOp& b) const {
+    Footprint fp;
+    ledger_.footprint_of(b.caller, b.op, fp);
+    return (fp.all || fp.n == 0) ? 0 : ledger_.shard_of(fp.ids[0]);
+  }
+
+  Ledger& ledger_;
+  ExecOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,95 @@
+// A small fixed-size fork/join worker pool for the parallel executor.
+//
+// The executor's unit of work is a WAVE: a set of commuting operations
+// that may run on any number of threads with one deterministic outcome.
+// All it needs from a pool is "run task(w) on every worker, then
+// barrier" — no futures, no queues, no stealing.  Workers persist across
+// waves so per-wave cost is one generation handshake, not thread
+// creation.
+//
+// Concurrency contract (the ThreadSanitizer CI job exercises it): all
+// shared fields are written and read under `mu_`; the task pointer is
+// published before the generation bump that wakes workers, and the
+// joiner returns only after every worker reported done, so the caller's
+// writes happen-before the wave and the wave's writes happen-before the
+// caller resumes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tokensync {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is clamped to 1).
+  explicit ThreadPool(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::scoped_lock lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Invokes task(w) for every worker index w in [0, size()) and returns
+  /// once all invocations finished.  Not reentrant; one caller at a time.
+  void run(const std::function<void(std::size_t)>& task) {
+    std::unique_lock lk(mu_);
+    task_ = &task;
+    pending_ = threads_.size();
+    ++generation_;
+    cv_.notify_all();
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [this, seen] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+      }
+      (*task)(w);
+      {
+        const std::scoped_lock lk(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,78 @@
+// TxPool<Spec> — the executor's intake queue.
+//
+// Clients (or workload scripts) submit operations from any thread; the
+// execution loop periodically drains a batch and hands it to the
+// ConflictPlanner/ParallelExecutor pipeline.  The pool is deliberately
+// FIFO: the batch order it yields is the submission order, which is the
+// sequential execution the wave schedule is proven equivalent to
+// (DESIGN.md §9) — a reordering pool would change which execution the
+// audits compare against, not just performance.
+//
+// The lock is a single mutex, not a sharded structure: intake is not the
+// hot path (one push per op vs. one footprint + locks + Δ per op on the
+// execution side), and a total submission order is exactly what the
+// determinism contract wants.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "atomic/ledger.h"
+#include "common/ids.h"
+
+namespace tokensync {
+
+template <ConcurrentTokenSpec S>
+class TxPool {
+ public:
+  using Op = typename S::Op;
+  using BatchOp = typename ConcurrentLedger<S>::BatchOp;
+
+  /// Enqueues `op` on behalf of `caller`.  Thread-safe.
+  void submit(ProcessId caller, Op op) {
+    const std::scoped_lock lk(mu_);
+    q_.push_back(BatchOp{caller, std::move(op)});
+    ++submitted_;
+  }
+
+  /// Removes and returns up to `max_ops` operations in submission order.
+  /// Thread-safe; an empty vector means the pool was empty.
+  std::vector<BatchOp> drain(std::size_t max_ops = SIZE_MAX) {
+    const std::scoped_lock lk(mu_);
+    const std::size_t n = std::min(max_ops, q_.size());
+    std::vector<BatchOp> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    drained_ += n;
+    return batch;
+  }
+
+  std::size_t pending() const {
+    const std::scoped_lock lk(mu_);
+    return q_.size();
+  }
+  std::size_t submitted() const {
+    const std::scoped_lock lk(mu_);
+    return submitted_;
+  }
+  std::size_t drained() const {
+    const std::scoped_lock lk(mu_);
+    return drained_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<BatchOp> q_;
+  std::size_t submitted_ = 0;
+  std::size_t drained_ = 0;
+};
+
+}  // namespace tokensync

@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "atbcast/at_bcast.h"
+#include "common/rng.h"
 #include "dyntoken/dyntoken.h"
+#include "exec/exec_specs.h"
 #include "objects/erc20.h"
 #include "objects/erc721.h"
 #include "objects/erc777.h"
@@ -33,6 +35,8 @@ const char* to_string(Workload w) {
     case Workload::kErc777ApproveBurn: return "erc777_approve_burn";
     case Workload::kDynTokenReconfig: return "dyntoken_reconfig";
     case Workload::kAtBcastPayments: return "at_bcast_payments";
+    case Workload::kErc20ParallelStorm: return "erc20_parallel_storm";
+    case Workload::kMixedCommuteEscalate: return "mixed_commute_escalate";
   }
   return "?";
 }
@@ -48,7 +52,8 @@ const std::vector<Workload>& all_workloads() {
   static const std::vector<Workload> kAll = {
       Workload::kErc20TransferStorm, Workload::kErc721MintTradeRace,
       Workload::kErc777ApproveBurn, Workload::kDynTokenReconfig,
-      Workload::kAtBcastPayments};
+      Workload::kAtBcastPayments, Workload::kErc20ParallelStorm,
+      Workload::kMixedCommuteEscalate};
   return kAll;
 }
 
@@ -482,6 +487,177 @@ ScenarioReport run_at_bcast_payments(const ScenarioConfig& cfg) {
   return rep;
 }
 
+// -------------------------------------------------------------------------
+// Hardware executor workloads (ISSUE 3): the commutativity-aware
+// parallel executor over a ConcurrentLedger.  No network exists here —
+// the fault axis is inert (every profile runs the identical script) and
+// the audits compare THREAD COUNTS instead of replicas:
+//
+//   agreement     — thread counts 1, 2 and 8 produce byte-identical
+//                   final ledger state, all equal to the sequential
+//                   specification folded over the batch;
+//   conservation  — the workload's supply invariant on that final state;
+//   settlement    — every thread count returned the sequential
+//                   responses, one per submitted operation.
+// -------------------------------------------------------------------------
+
+template <typename LedgerSpec>
+ScenarioReport run_executor_workload(
+    const ScenarioConfig& cfg,
+    const typename LedgerSpec::SeqState& initial,
+    const std::vector<typename ConcurrentLedger<LedgerSpec>::BatchOp>& batch,
+    const std::function<std::optional<std::string>(
+        const typename LedgerSpec::SeqState&)>& conserve) {
+  // The sequential reference: the batch folded through the pure spec.
+  typename LedgerSpec::SeqState seq = initial;
+  std::vector<Response> seq_responses;
+  seq_responses.reserve(batch.size());
+  for (const auto& b : batch) {
+    auto [r, next] = LedgerSpec::SeqSpec::apply(seq, b.caller, b.op);
+    seq_responses.push_back(r);
+    seq = std::move(next);
+  }
+
+  ScenarioReport rep;
+  BatchSchedule sched;
+  std::vector<std::string> violations;
+  bool agreement = true;
+  bool settled = true;
+  bool conservation = true;
+  for (const std::size_t threads : {1, 2, 8}) {
+    ConcurrentLedger<LedgerSpec> ledger(initial, /*validation_spin=*/0,
+                                        /*num_shards=*/0);
+    ParallelExecutor<LedgerSpec> exec(ledger, {.threads = threads});
+    const ExecReport er = exec.execute(batch);
+    sched = er.schedule;
+    const auto snapshot = ledger.snapshot();
+    if (!(snapshot == seq)) {
+      agreement = false;
+      violations.push_back("threads=" + std::to_string(threads) +
+                           " final state diverges from sequential spec");
+    }
+    if (er.responses != seq_responses) {
+      settled = false;
+      violations.push_back("threads=" + std::to_string(threads) +
+                           " responses diverge from sequential spec");
+    }
+    if (auto v = conserve(snapshot)) {
+      conservation = false;
+      violations.push_back("threads=" + std::to_string(threads) + ": " + *v);
+    }
+  }
+
+  // The committed "history" of a hardware batch is its schedule plus the
+  // (thread-count-invariant) final state.
+  std::string history = sched.to_string() + "\n" + seq.to_string() + "\n";
+  fill_report_skeleton(rep, to_string(cfg.workload), cfg.fault, cfg.seed,
+                       cfg.num_replicas, /*sim_time=*/0, NetStats{},
+                       std::move(history), batch.size());
+  rep.submitted = batch.size();
+  rep.agreement = agreement;
+  rep.settled = settled;
+  rep.conservation = conservation;
+  rep.violations = std::move(violations);
+  return rep;
+}
+
+// ERC20 parallel storm: a mostly-commuting transfer stream over 16
+// accounts (the conflict graph stays wide ⇒ few waves), salted with
+// allowance traffic and a rare totalSupply barrier.  A pure function of
+// (seed, intensity).
+ScenarioReport run_erc20_parallel_storm(const ScenarioConfig& cfg) {
+  constexpr std::size_t kAccts = 16;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(kAccts, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         kAccts, std::vector<Amount>(kAccts, 2)));
+  Rng rng(cfg.seed);
+  std::vector<Erc20Ledger::BatchOp> batch;
+  const std::size_t ops = 60 * cfg.intensity;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto caller = static_cast<ProcessId>(rng.below(kAccts));
+    const auto dst = static_cast<AccountId>(rng.below(kAccts));
+    const auto roll = rng.below(50);
+    if (roll == 0) {
+      batch.push_back({caller, Erc20Op::total_supply()});  // barrier
+    } else if (roll < 5) {
+      batch.push_back({caller, Erc20Op::approve(
+                                   static_cast<ProcessId>(dst), 3)});
+    } else if (roll < 10) {
+      batch.push_back(
+          {caller, Erc20Op::transfer_from(
+                       static_cast<AccountId>(rng.below(kAccts)), dst, 1)});
+    } else {
+      batch.push_back({caller, Erc20Op::transfer(dst, 1 + rng.below(3))});
+    }
+  }
+
+  const Amount expected = kInitial * kAccts;
+  return run_executor_workload<Erc20LedgerSpec>(
+      cfg, initial, batch,
+      [expected](const Erc20State& q) -> std::optional<std::string> {
+        if (q.total_supply() == expected) return std::nullopt;
+        return "supply " + std::to_string(q.total_supply()) +
+               " != " + std::to_string(expected);
+      });
+}
+
+// Mixed commute/escalate: the ERC721 fast path (argument-footprint
+// transfers, operator management) interleaved with the state-dependent-σ
+// admin fragment (approve/ownerOf — escalated to the sequential lane;
+// DESIGN.md §9's escalation rule, exercised end to end).
+ScenarioReport run_mixed_commute_escalate(const ScenarioConfig& cfg) {
+  constexpr std::size_t kAccts = 12;
+  constexpr std::size_t kTokens = 30;
+  std::vector<AccountId> owners(kTokens);
+  for (std::size_t t = 0; t < kTokens; ++t) {
+    owners[t] = static_cast<AccountId>(t % kAccts);
+  }
+  const Erc721State initial(kAccts, owners);
+  Rng rng(cfg.seed);
+  std::vector<Erc721Ledger::BatchOp> batch;
+  const std::size_t ops = 50 * cfg.intensity;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto caller = static_cast<ProcessId>(rng.below(kAccts));
+    const auto tok = static_cast<TokenId>(rng.below(kTokens));
+    const auto roll = rng.below(20);
+    if (roll < 2) {  // escalates: σ = {owner_of(token)}, state-dependent
+      batch.push_back({caller, Erc721Op::approve(
+                                   static_cast<ProcessId>(
+                                       rng.below(kAccts)),
+                                   tok)});
+    } else if (roll < 3) {  // escalates
+      batch.push_back({caller, Erc721Op::owner_of(tok)});
+    } else if (roll < 5) {  // fast path: σ = {caller}
+      batch.push_back({caller, Erc721Op::set_approval_for_all(
+                                   static_cast<ProcessId>(
+                                       rng.below(kAccts)),
+                                   rng.chance(1, 2))});
+    } else {  // fast path: σ = {src, dst}
+      batch.push_back(
+          {caller, Erc721Op::transfer_from(
+                       static_cast<AccountId>(caller),
+                       static_cast<AccountId>(rng.below(kAccts)), tok)});
+    }
+  }
+
+  return run_executor_workload<Erc721LedgerSpec>(
+      cfg, initial, batch,
+      [kAccts](const Erc721State& q) -> std::optional<std::string> {
+        if (q.num_tokens() != kTokens) {
+          return "token count changed: " + std::to_string(q.num_tokens());
+        }
+        for (TokenId t = 0; t < kTokens; ++t) {
+          if (q.owner_of(t) >= kAccts) {
+            return "token " + std::to_string(t) +
+                   " owned by invalid account " +
+                   std::to_string(q.owner_of(t));
+          }
+        }
+        return std::nullopt;
+      });
+}
+
 }  // namespace
 
 ScenarioReport run_scenario(const ScenarioConfig& cfg) {
@@ -500,6 +676,10 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_dyntoken_reconfig(cfg);
     case Workload::kAtBcastPayments:
       return run_at_bcast_payments(cfg);
+    case Workload::kErc20ParallelStorm:
+      return run_erc20_parallel_storm(cfg);
+    case Workload::kMixedCommuteEscalate:
+      return run_mixed_commute_escalate(cfg);
   }
   TS_EXPECTS(false);
   return {};

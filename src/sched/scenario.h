@@ -52,13 +52,22 @@ enum class FaultProfile : std::uint8_t {
   kMinorityCrash,  ///< floor((n-1)/2) replicas crash-stop at t=45
 };
 
-/// The named workloads (ISSUE 2 tentpole set).
+/// The named workloads.  The first five (ISSUE 2) are distributed: a
+/// replica cluster over SimNet, where the fault axis is live.  The last
+/// two (ISSUE 3) are HARDWARE workloads: they drive the commutativity-
+/// aware parallel executor (src/exec/) over a ConcurrentLedger — no
+/// network exists, so every fault profile runs them identically (the
+/// axis is inert) and the audits compare thread counts instead of
+/// replicas: the same batch must produce byte-identical ledger state on
+/// 1, 2 and 8 threads, equal to the sequential specification's.
 enum class Workload : std::uint8_t {
   kErc20TransferStorm,   ///< replicated ERC20: transfer storm + allowance races
   kErc721MintTradeRace,  ///< replicated ERC721: treasury mints, spenders race
   kErc777ApproveBurn,    ///< replicated ERC777: operator churn + burn contention
   kDynTokenReconfig,     ///< dyntoken: issuer reconfigures spender groups
   kAtBcastPayments,      ///< consensus-free asset transfer over reliable bcast
+  kErc20ParallelStorm,   ///< executor: commuting ERC20 storm across waves
+  kMixedCommuteEscalate, ///< executor: ERC721 fast path + escalated admin ops
 };
 
 const char* to_string(FaultProfile f);

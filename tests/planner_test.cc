@@ -1,7 +1,14 @@
 // Tests for the synchronization planner (the conclusion's operational
-// insight: required coordination is readable from the state).
+// insight: required coordination is readable from the state) and the
+// batch wave scheduler plan_batch (σ-footprints → conflict graph →
+// waves; the executor's determinism rests on its ORDER/ISOLATION
+// invariants — see the BatchSchedule contract in core/planner.h).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/rng.h"
 #include "core/planner.h"
 
 namespace tokensync {
@@ -48,6 +55,102 @@ TEST(Planner, RenderMentionsGroupsAndLevel) {
   const std::string s = plan_synchronization(q).to_string();
   EXPECT_NE(s.find("k = 2"), std::string::npos);
   EXPECT_NE(s.find("group {p0, p2}"), std::string::npos);
+}
+
+// --- plan_batch: σ-footprints → conflict graph → wave schedule.
+
+Footprint fp(std::initializer_list<AccountId> accounts) {
+  Footprint f;
+  for (AccountId a : accounts) f.add(a);
+  return f;
+}
+
+Footprint fp_all() {
+  Footprint f;
+  f.set_all();
+  return f;
+}
+
+TEST(PlanBatch, DisjointFootprintsShareOneWave) {
+  const auto s = plan_batch({fp({0, 1}), fp({2, 3}), fp({4, 5})});
+  EXPECT_EQ(s.num_waves, 1u);
+  EXPECT_EQ(s.wave, (std::vector<std::uint32_t>{0, 0, 0}));
+  EXPECT_EQ(s.escalated, 0u);
+  EXPECT_EQ(s.conflict_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.parallelism(), 3.0);
+}
+
+TEST(PlanBatch, ConflictingOpsOrderAcrossWavesInSubmissionOrder) {
+  // 0 and 1 collide on account 1; 2 is independent; 3 collides with 1.
+  const auto s =
+      plan_batch({fp({0, 1}), fp({1, 2}), fp({5, 6}), fp({2, 7})});
+  EXPECT_EQ(s.wave[0], 0u);
+  EXPECT_EQ(s.wave[1], 1u);  // after op 0 (shares account 1)
+  EXPECT_EQ(s.wave[2], 0u);  // commutes with everything
+  EXPECT_EQ(s.wave[3], 2u);  // after op 1 (shares account 2)
+  EXPECT_EQ(s.num_waves, 3u);
+}
+
+TEST(PlanBatch, EscalatedOpIsASingletonBarrier) {
+  const auto s = plan_batch(
+      {fp({0, 1}), fp({2, 3}), fp({4, 5}), fp({0, 1})},
+      {false, true, false, false});
+  EXPECT_EQ(s.wave[0], 0u);
+  EXPECT_EQ(s.wave[1], 1u);  // the barrier, alone
+  EXPECT_EQ(s.wave[2], 2u);  // disjoint from everything, still after it
+  EXPECT_EQ(s.wave[3], 2u);  // conflicts only with op 0 — and the barrier
+  EXPECT_EQ(s.escalated, 1u);
+  const auto waves = s.grouped();
+  ASSERT_EQ(waves.size(), 3u);
+  EXPECT_EQ(waves[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(PlanBatch, WholeStateFootprintEscalatesWithoutATrait) {
+  const auto s = plan_batch({fp({0, 1}), fp_all(), fp({0, 1})});
+  EXPECT_EQ(s.wave, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(s.escalated, 1u);
+  // barrier→op0 (1) + op2→barrier (1) + op2↔op0 per shared account (2).
+  EXPECT_EQ(s.conflict_edges, 4u);
+}
+
+TEST(PlanBatch, OrderInvariantHoldsOnRandomBatches) {
+  // Property check: conflicting pairs are wave-ordered by submission.
+  Rng rng(42);
+  std::vector<Footprint> fps;
+  std::vector<bool> esc;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.chance(1, 20)) {
+      fps.push_back(fp_all());
+    } else {
+      fps.push_back(fp({static_cast<AccountId>(rng.below(12)),
+                        static_cast<AccountId>(rng.below(12))}));
+    }
+    esc.push_back(rng.chance(1, 25));
+  }
+  const auto s = plan_batch(fps, esc);
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    const bool bi = fps[i].all || esc[i];
+    for (std::size_t j = i + 1; j < fps.size(); ++j) {
+      const bool bj = fps[j].all || esc[j];
+      if (bi || bj || fps[i].intersects(fps[j])) {
+        EXPECT_LT(s.wave[i], s.wave[j])
+            << "conflicting ops " << i << "," << j << " not ordered";
+      }
+    }
+  }
+  EXPECT_GT(s.escalated, 0u);
+  EXPECT_GT(s.parallelism(), 1.0);
+}
+
+TEST(PlanBatch, SelfTransferCountsNoSelfEdge) {
+  const auto s = plan_batch({fp({3, 3})});
+  EXPECT_EQ(s.conflict_edges, 0u);
+  EXPECT_EQ(s.num_waves, 1u);
+}
+
+TEST(PlanBatch, RenderSummarizes) {
+  const auto s = plan_batch({fp({0, 1}), fp({1, 2})});
+  EXPECT_NE(s.to_string().find("2 ops in 2 waves"), std::string::npos);
 }
 
 }  // namespace
