@@ -1,0 +1,116 @@
+// block pipeline demo — batched total-order replication with
+// deterministic parallel replay, from the CLI (ISSUE 4).
+//
+// Runs the erc20_block_storm scenario twice under the chosen fault
+// profile: once at batch size 1 (the ISSUE 2 one-op-per-slot baseline)
+// and once at the requested --batch-size, printing the consensus-slot
+// amortization batching buys (slots, messages, simulated commit
+// latency/throughput).  Then re-runs the batched configuration with 1,
+// 2 and 8 replay worker threads per replica and checks the committed
+// histories are byte-identical — the pipeline's determinism contract,
+// live.
+//
+//   $ ./block_node [seed] [fault] [--batch-size N]
+//     fault ∈ none | lossy | lossy_dup | partition_heal | minority_crash
+//
+// Every run is a pure function of (seed, fault, batch size); the
+// process exits nonzero if any audit or the determinism check fails, so
+// the ctest smoke run enforces what the demo demonstrates.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sched/scenario.h"
+
+using namespace tokensync;
+
+namespace {
+
+FaultProfile parse_fault(const char* s) {
+  for (FaultProfile f : all_fault_profiles()) {
+    if (std::strcmp(s, to_string(f)) == 0) return f;
+  }
+  std::fprintf(stderr, "unknown fault profile '%s'\n", s);
+  std::exit(1);
+}
+
+bool g_all_ok = true;
+
+ScenarioReport run_and_print(ScenarioConfig cfg) {
+  const ScenarioReport rep = run_scenario(cfg);
+  g_all_ok = g_all_ok && rep.ok();
+  std::printf("  %s\n", rep.summary().c_str());
+  std::printf("  slots=%zu ops=%zu ops/slot=%.2f msgs=%llu "
+              "agreement=%s conservation=%s settled=%s digest=%016llx\n",
+              rep.slots, rep.committed,
+              rep.slots ? static_cast<double>(rep.committed) /
+                              static_cast<double>(rep.slots)
+                        : 0.0,
+              (unsigned long long)rep.net.sent,
+              rep.agreement ? "yes" : "NO", rep.conservation ? "yes" : "NO",
+              rep.settled ? "yes" : "NO",
+              (unsigned long long)rep.history_digest);
+  for (const auto& v : rep.violations) {
+    std::printf("  VIOLATION: %s\n", v.c_str());
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 11;
+  FaultProfile fault = FaultProfile::kLossyDup;
+  std::size_t batch_size = 8;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      batch_size = std::strtoull(argv[++i], nullptr, 10);
+      if (batch_size == 0) batch_size = 1;
+    } else if (positional == 0) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      fault = parse_fault(argv[i]);
+    }
+  }
+
+  ScenarioConfig cfg;
+  cfg.workload = Workload::kErc20BlockStorm;
+  cfg.fault = fault;
+  cfg.seed = seed;
+  cfg.num_replicas = 4;
+  cfg.intensity = 4;
+
+  std::printf("== baseline: one op per consensus slot "
+              "(batch-size 1, fault=%s, seed=%llu)\n",
+              to_string(fault), (unsigned long long)seed);
+  cfg.block_max_ops = 1;
+  run_and_print(cfg);
+
+  std::printf("\n== block pipeline: batch-size %zu "
+              "(size cut at %zu ops, deadline cut every %llu time units)\n",
+              batch_size, batch_size,
+              (unsigned long long)cfg.block_deadline);
+  cfg.block_max_ops = batch_size;
+  const ScenarioReport batched = run_and_print(cfg);
+
+  std::printf("\n== determinism across replay parallelism: same seed, "
+              "replicas replaying with 1/2/8 worker threads\n");
+  for (const std::size_t threads : {1, 2, 8}) {
+    cfg.replay_threads = threads;
+    const ScenarioReport rep = run_scenario(cfg);
+    const bool same = rep.history == batched.history;
+    g_all_ok = g_all_ok && rep.ok() && same;
+    std::printf("  replay_threads=%zu digest=%016llx %s\n", threads,
+                (unsigned long long)rep.history_digest,
+                same ? "(byte-identical)" : "(DIVERGED!)");
+  }
+
+  std::printf("\nblocks commit atomically through one Paxos slot each; "
+              "re-run with the same\narguments for identical histories, or "
+              "vary --batch-size to trade consensus\nslots against block "
+              "fill.\n");
+  return g_all_ok ? 0 : 1;
+}

@@ -55,7 +55,12 @@ def rows_for(path):
         if b.get("run_type") == "aggregate":
             continue
         extras = []
-        for key in ("waves", "escalated", "parallelism"):
+        # Schedule counters (bench_parallel_exec) plus the block-pipeline
+        # counters (bench_block_pipeline: per-block schedule shape and the
+        # consensus-slot amortization of the replicated sweep).
+        for key in ("waves", "escalated", "parallelism", "blocks",
+                    "waves_per_block", "slots", "ops_per_slot",
+                    "commits_per_ktime"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

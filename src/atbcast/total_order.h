@@ -17,6 +17,19 @@
 // same order.  Delivery is contiguous in slot order (a decided slot parks
 // until all earlier slots are known).
 //
+// Pipelining (the block pipeline's knob): with `window` = w > 1 the node
+// keeps its w oldest pending payloads in flight at the w lowest open
+// slots instead of proposing strictly one at a time — the classic
+// multi-Paxos pipeline, which overlaps the consensus latency of
+// consecutive blocks (net/block_replica.h cuts them, this layer ships
+// them).  Safety is untouched: every slot is still an independent Paxos
+// instance and (origin, nonce) dedup already absorbs a payload deciding
+// in two slots.  What w > 1 gives up is the per-origin FIFO guarantee of
+// the committed log (payload i+1 may commit before payload i when slot
+// races go the wrong way) — callers that rely on FIFO, like the
+// replicated token race (write before race step), must keep the default
+// w = 1, which reproduces the old one-in-flight behavior exactly.
+//
 // Catch-up (anti-entropy) is query-driven and self-terminating:
 //   * gap repair    — learning slot s while slot s' < s is unknown sends
 //                     a kQuery for every missing earlier slot;
@@ -74,10 +87,14 @@ class TotalOrderBcast {
   using Deliver = std::function<void(std::uint64_t slot, ProcessId origin,
                                      std::uint64_t nonce, const Payload&)>;
 
+  /// `window` is the pipelining depth: how many of this node's pending
+  /// payloads are proposed concurrently (at distinct open slots).  1 (the
+  /// default) is strict one-in-flight and preserves per-origin FIFO; see
+  /// the file comment for what larger windows trade away.
   TotalOrderBcast(Net& net, ProcessId self, Deliver deliver,
-                  std::uint64_t retry_delay = 40)
+                  std::uint64_t retry_delay = 40, std::size_t window = 1)
       : net_(net), self_(self), deliver_(std::move(deliver)),
-        everyone_(net.num_nodes()) {
+        window_(window == 0 ? 1 : window), everyone_(net.num_nodes()) {
     for (ProcessId p = 0; p < everyone_.size(); ++p) everyone_[p] = p;
     paxos_ = std::make_unique<PaxosEngine<Cmd>>(
         net, self, [this](InstanceId) { return std::optional(everyone_); },
@@ -108,24 +125,36 @@ class TotalOrderBcast {
   bool all_settled() const noexcept { return pending_.empty(); }
 
  private:
-  /// Lowest slot not yet known decided — where our next proposal goes.
-  std::uint64_t next_open_slot() const {
-    std::uint64_t s = next_deliver_;
-    while (decided_.contains(s)) ++s;
-    return s;
-  }
-
-  /// Proposes only the HEAD of the pending queue: per-origin FIFO in the
-  /// committed log, and at most one in-flight proposal per node.
+  /// Proposes the `window_` oldest pending payloads at the lowest open
+  /// slots, one payload per slot.  window_ == 1 degenerates to the
+  /// original head-only pump (per-origin FIFO, one in-flight proposal).
+  /// A payload already known decided in some slot is skipped even though
+  /// it is still pending (pending_ empties at DELIVERY, which waits for
+  /// the contiguous prefix): re-proposing it would burn a fresh Paxos
+  /// instance per pump while it parks — gap repair, not re-proposal, is
+  /// what delivers it.  A payload can still land in two slots when a
+  /// lost duel's adoption races our re-proposal, which delivery dedups
+  /// by (origin, nonce); PaxosEngine::propose keeps the first value
+  /// offered for an instance, so a slot that already carries an active
+  /// proposal simply consumes the open-slot cursor.
   void pump() {
-    if (pending_.empty()) return;
-    paxos_->propose(next_open_slot(), pending_.front());
+    std::uint64_t slot = next_deliver_;
+    std::size_t launched = 0;
+    for (const Cmd& c : pending_) {
+      if (launched == window_) break;
+      if (landed_.contains(c.nonce)) continue;  // decided, awaiting delivery
+      while (decided_.contains(slot)) ++slot;
+      paxos_->propose(slot, c);
+      ++slot;
+      ++launched;
+    }
   }
 
   void on_decide(std::uint64_t slot, const Cmd& c) {
     // A catch-up REPLY proves we were behind: continue the frontier walk.
     const bool caught_up = paxos_->last_decide_was_reply();
     decided_.emplace(slot, c);
+    if (c.origin == self_) landed_.insert(c.nonce);
     // Gap repair: ask for every earlier slot we have no decision for.
     for (std::uint64_t s = next_deliver_; s < slot; ++s) {
       if (!decided_.contains(s)) paxos_->query_all(s);
@@ -141,6 +170,7 @@ class TotalOrderBcast {
                                         return p.nonce == cmd.nonce;
                                       }),
                        pending_.end());
+        landed_.erase(cmd.nonce);
       }
       if (cmd.nonce != 0 &&
           seen_.insert({cmd.origin, cmd.nonce}).second) {
@@ -163,6 +193,7 @@ class TotalOrderBcast {
   Net& net_;
   ProcessId self_;
   Deliver deliver_;
+  std::size_t window_ = 1;           // pipelining depth (file comment)
   std::vector<ProcessId> everyone_;  // the constant acceptor group
   std::unique_ptr<PaxosEngine<Cmd>> paxos_;
   std::vector<Cmd> pending_;  // our submissions, oldest first
@@ -170,6 +201,9 @@ class TotalOrderBcast {
   std::uint64_t next_deliver_ = 0;
   std::map<std::uint64_t, Cmd> decided_;
   std::set<std::pair<ProcessId, std::uint64_t>> seen_;
+  /// Our nonces decided in SOME slot but not yet delivered (parked
+  /// behind a gap): pump() must not re-propose these.
+  std::set<std::uint64_t> landed_;
 };
 
 }  // namespace tokensync

@@ -112,9 +112,14 @@ class ConcurrentLedger {
   using Op = typename S::Op;
 
   /// One batched operation: `op` invoked on behalf of `caller`.
+  /// Equality-comparable because batches travel as consensus values in
+  /// the block pipeline (exec/block.h wraps a vector of these into the
+  /// Paxos payload of atbcast/total_order.h).
   struct BatchOp {
     ProcessId caller = 0;
     Op op;
+
+    friend bool operator==(const BatchOp&, const BatchOp&) = default;
   };
 
   /// `num_shards` = 0 selects per-account sharding; 1 is the global-mutex

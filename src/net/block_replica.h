@@ -1,0 +1,143 @@
+// BlockReplicaNode — batched total-order replication with deterministic
+// parallel replay (the block pipeline, DESIGN.md §10).
+//
+// This is the fusion of the repo's two runtimes: the replicated
+// total-order machinery of net/replica.h (ISSUE 2) carrying the
+// commutativity-aware executor of src/exec/ (ISSUE 3) as its state
+// machine.  One replica =
+//
+//   TxPool  --cut-->  BlockBuilder  --submit-->  ReplicaNode<BlockSM>
+//   (intake)          (size/deadline)            (one Paxos slot per
+//                                                 BLOCK, not per op)
+//                                   --commit-->  ReplayEngine
+//                                                (waves over the
+//                                                 ParallelExecutor)
+//
+// Clients call submit(caller, op): the op enters the pool, and a full
+// pool cuts a block immediately (size cut).  The driver ticks
+// on_deadline() every BlockConfig::deadline time units so a partial fill
+// never waits forever (deadline cut; an empty pool cuts nothing).  Cut
+// blocks ride the Paxos-backed total-order broadcast — a block is ONE
+// consensus value, so it commits atomically or not at all, and
+// duplicated delivery of its decision cannot double-apply (slot dedup in
+// the broadcast).  Every replica replays each committed block through
+// its own ReplayEngine; because replay is outcome-deterministic in the
+// worker thread count, replicas running 1, 2 and 8 replay threads hold
+// byte-identical committed histories from the same seed — the block
+// pipeline's acceptance criterion.
+//
+// Interface-compatible with ReplicaNode for the scenario audits
+// (history / submitted / all_settled / commit_latencies / log), with
+// op-granular accounting on top: submitted() counts OPERATIONS (the unit
+// the settlement audit cares about), blocks_submitted() the consensus
+// payloads they were batched into.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atomic/ledger.h"
+#include "common/ids.h"
+#include "exec/block.h"
+#include "exec/replay_engine.h"
+#include "exec/txpool.h"
+#include "net/replica.h"
+
+namespace tokensync {
+
+/// The ReplicaStateMachine whose command is a whole block: apply()
+/// replays it through the engine and returns the block's history line.
+/// Movable via the unique_ptr (the engine itself is pinned — its
+/// executor references its ledger).
+template <ConcurrentTokenSpec S>
+class BlockSM {
+ public:
+  using Cmd = Block<S>;
+
+  BlockSM(const typename S::SeqState& initial, ExecOptions opts,
+          std::size_t num_shards = 0)
+      : engine_(std::make_unique<ReplayEngine<S>>(initial, opts,
+                                                  num_shards)) {}
+
+  /// `origin` (the block's proposer) does not influence replay — the ops
+  /// carry their own callers; ReplicaNode records the origin in the log.
+  std::string apply(ProcessId /*origin*/, const Cmd& b) {
+    return engine_->apply(b);
+  }
+
+  const ReplayEngine<S>& engine() const noexcept { return *engine_; }
+
+ private:
+  std::unique_ptr<ReplayEngine<S>> engine_;
+};
+
+template <ConcurrentTokenSpec S>
+class BlockReplicaNode {
+ public:
+  using Op = typename S::Op;
+  using SM = BlockSM<S>;
+  using Node = ReplicaNode<SM>;
+  using Net = typename Node::Net;
+  using Entry = typename Node::Entry;
+
+  BlockReplicaNode(Net& net, ProcessId self,
+                   const typename S::SeqState& initial, BlockConfig bcfg,
+                   ExecOptions eopts)
+      : builder_(pool_, bcfg),
+        node_(net, self, SM(initial, eopts), /*retry_delay=*/40,
+              bcfg.pipeline_window) {}
+
+  /// Client intake: pools the op; a full pool cuts a block immediately.
+  void submit(ProcessId caller, Op op) {
+    pool_.submit(caller, std::move(op));
+    ++ops_submitted_;
+    if (auto b = builder_.cut_if_full()) node_.submit(std::move(*b));
+  }
+
+  /// Deadline tick (drivers schedule this every BlockConfig::deadline):
+  /// flushes a partial fill; a no-op on an empty pool.
+  void on_deadline() {
+    if (auto b = builder_.cut()) node_.submit(std::move(*b));
+  }
+
+  /// Anti-entropy probe (TotalOrderBcast::sync via ReplicaNode).
+  void sync() { node_.sync(); }
+
+  // --- the scenario-audit interface (mirrors ReplicaNode) ---
+
+  /// Operations submitted here (the settlement audit's unit).
+  std::size_t submitted() const noexcept { return ops_submitted_; }
+  /// All pooled ops were cut AND all cut blocks committed here.
+  bool all_settled() const {
+    return pool_.pending() == 0 && node_.all_settled();
+  }
+  std::string history() const { return node_.history(); }
+  const std::vector<Entry>& log() const noexcept { return node_.log(); }
+  /// Per-BLOCK commit latencies (submit of the block -> local commit).
+  const std::vector<std::uint64_t>& commit_latencies() const noexcept {
+    return node_.commit_latencies();
+  }
+  const SM& machine() const noexcept { return node_.machine(); }
+
+  // --- block-granular accounting ---
+
+  const ReplayEngine<S>& engine() const noexcept {
+    return node_.machine().engine();
+  }
+  std::size_t blocks_submitted() const noexcept { return node_.submitted(); }
+  std::size_t blocks_committed() const noexcept { return node_.log().size(); }
+  std::size_t ops_committed() const noexcept { return engine().ops_applied(); }
+  const BlockBuilder<S>& builder() const noexcept { return builder_; }
+
+ private:
+  TxPool<S> pool_;
+  BlockBuilder<S> builder_;
+  Node node_;
+  std::size_t ops_submitted_ = 0;
+};
+
+}  // namespace tokensync

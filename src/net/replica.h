@@ -34,6 +34,12 @@
 // consensus" baseline the paper argues against for commuting operations —
 // having it executable is what makes the comparison with atbcast/ (CN = 1
 // asset transfer) and dyntoken/ (per-σ-group consensus) concrete.
+//
+// The block pipeline (net/block_replica.h) stacks on this layer: a
+// ReplicaNode whose command is a whole BLOCK of token operations
+// (exec/block.h) and whose state machine replays each committed block
+// through the commutativity-aware parallel executor (DESIGN.md §10).
+// One slot per command stays the mechanism; the command just got wider.
 #pragma once
 
 #include <concepts>
@@ -54,12 +60,8 @@
 
 namespace tokensync {
 
-/// Renders a sequential-specification response for committed-history
-/// lines ("TRUE"/"FALSE" for updates, the number for reads).
-inline std::string response_to_string(const Response& r) {
-  if (r.kind == Response::Kind::kValue) return std::to_string(r.value);
-  return r.ok ? "TRUE" : "FALSE";
-}
+// response_to_string (the canonical committed-history rendering of a
+// Response) lives with Response itself in objects/object.h.
 
 /// What ReplicaNode needs from a replicated state machine: a command type
 /// and a deterministic apply that returns the committed-history line for
@@ -92,13 +94,18 @@ class ReplicaNode {
     std::string line;
   };
 
-  ReplicaNode(Net& net, ProcessId self, SM sm)
+  /// `tob_window` is TotalOrderBcast's pipelining depth — 1 (default)
+  /// preserves per-origin FIFO commits; block replicas may raise it to
+  /// overlap consecutive blocks' consensus latency (total_order.h).
+  ReplicaNode(Net& net, ProcessId self, SM sm,
+              std::uint64_t retry_delay = 40, std::size_t tob_window = 1)
       : net_(net), self_(self), sm_(std::move(sm)),
         tob_(net, self,
              [this](std::uint64_t slot, ProcessId origin,
                     std::uint64_t nonce, const Cmd& c) {
                on_commit(slot, origin, nonce, c);
-             }) {}
+             },
+             retry_delay, tob_window) {}
 
   /// Submits a command on this replica's behalf; it commits (here and
   /// everywhere) once the broadcast sequences it.

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <variant>
 
 #include "common/ids.h"
@@ -34,6 +35,14 @@ struct Response {
 
   friend bool operator==(const Response&, const Response&) = default;
 };
+
+/// Renders a response for committed-history lines ("TRUE"/"FALSE" for
+/// updates, the number for reads) — the canonical textual form every
+/// replicated runtime (net/replica.h, net/block_replica.h) agrees on.
+inline std::string response_to_string(const Response& r) {
+  if (r.kind == Response::Kind::kValue) return std::to_string(r.value);
+  return r.ok ? "TRUE" : "FALSE";
+}
 
 /// Convenience result pair returned by `apply` functions.
 template <typename State>

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "dyntoken/dyntoken.h"
 #include "exec/exec_specs.h"
+#include "net/block_replica.h"
 #include "objects/erc20.h"
 #include "objects/erc721.h"
 #include "objects/erc777.h"
@@ -37,6 +38,8 @@ const char* to_string(Workload w) {
     case Workload::kAtBcastPayments: return "at_bcast_payments";
     case Workload::kErc20ParallelStorm: return "erc20_parallel_storm";
     case Workload::kMixedCommuteEscalate: return "mixed_commute_escalate";
+    case Workload::kErc20BlockStorm: return "erc20_block_storm";
+    case Workload::kMixedBlockEscalate: return "mixed_block_escalate";
   }
   return "?";
 }
@@ -53,7 +56,8 @@ const std::vector<Workload>& all_workloads() {
       Workload::kErc20TransferStorm, Workload::kErc721MintTradeRace,
       Workload::kErc777ApproveBurn, Workload::kDynTokenReconfig,
       Workload::kAtBcastPayments, Workload::kErc20ParallelStorm,
-      Workload::kMixedCommuteEscalate};
+      Workload::kMixedCommuteEscalate, Workload::kErc20BlockStorm,
+      Workload::kMixedBlockEscalate};
   return kAll;
 }
 
@@ -658,6 +662,203 @@ ScenarioReport run_mixed_commute_escalate(const ScenarioConfig& cfg) {
       });
 }
 
+// -------------------------------------------------------------------------
+// Block-pipeline workloads (ISSUE 4): batched total-order replication
+// with deterministic parallel replay.  Distributed like the ISSUE 2
+// workloads (live fault axis), but each consensus slot carries a whole
+// block (exec/block.h) that every replica replays through its
+// ReplayEngine (exec/replay_engine.h) with cfg.replay_threads workers.
+// The committed history — block lines in slot order — must be a pure
+// function of (workload, fault, seed, intensity, block knobs),
+// independent of replay_threads.
+// -------------------------------------------------------------------------
+
+template <typename Spec>
+class BlockHarness {
+ public:
+  using Node = BlockReplicaNode<Spec>;
+
+  BlockHarness(const ScenarioConfig& cfg,
+               const typename Spec::SeqState& initial)
+      : cfg_(cfg),
+        net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
+        correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
+    arm_fault_schedule(net_, cfg.fault);
+    BlockConfig bcfg;
+    bcfg.max_ops = cfg.block_max_ops;
+    bcfg.deadline = cfg.block_deadline;
+    bcfg.pipeline_window = cfg.block_window;
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      nodes_.push_back(std::make_unique<Node>(
+          net_, p, initial, bcfg, ExecOptions{.threads = cfg.replay_threads}));
+    }
+  }
+
+  /// Schedules one client op at replica `p` (pool intake; the replica
+  /// cuts and proposes blocks on its own size/deadline rule).
+  void submit_at(ProcessId p, std::uint64_t t, ProcessId caller,
+                 typename Spec::Op op) {
+    Node* node = nodes_[p].get();
+    net_.call_at(p, t, [node, caller, op] { node->submit(caller, op); });
+    last_submit_ = std::max(last_submit_, t);
+  }
+
+  /// Arms the deadline ticks (every replica, every block_deadline units,
+  /// two periods past the last submit so every pooled op gets a cut),
+  /// drains to convergence, audits, fills the report.  `conserve` checks
+  /// one replica's replayed ledger snapshot.
+  ScenarioReport finish(
+      const std::function<std::optional<std::string>(
+          const typename Spec::SeqState&)>& conserve) {
+    const std::uint64_t period = std::max<std::uint64_t>(cfg_.block_deadline, 1);
+    const std::uint64_t horizon = last_submit_ + 2 * period;
+    for (ProcessId p = 0; p < nodes_.size(); ++p) {
+      Node* node = nodes_[p].get();
+      for (std::uint64_t t = period; t <= horizon; t += period) {
+        net_.call_at(p, t, [node] { node->on_deadline(); });
+      }
+    }
+    drain_to_convergence(net_, [this] {
+      for (std::size_t p = 0; p < nodes_.size(); ++p) {
+        if (correct_[p]) nodes_[p]->sync();
+      }
+    });
+
+    ScenarioReport rep;
+    const std::size_t ref = reference_replica(correct_);
+    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault,
+                         cfg_.seed, cfg_.num_replicas, net_.now(),
+                         net_.stats(), nodes_[ref]->history(),
+                         nodes_[ref]->ops_committed(),
+                         nodes_[ref]->log().empty()
+                             ? 0
+                             : nodes_[ref]->log().back().time);
+    rep.slots = nodes_[ref]->blocks_committed();
+    audit_replica_cluster(rep, nodes_, correct_);
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (auto v =
+              conserve(nodes_[p]->engine().ledger().snapshot())) {
+        rep.conservation = false;
+        rep.violations.push_back("replica " + std::to_string(p) + ": " + *v);
+      }
+    }
+    return rep;
+  }
+
+ private:
+  ScenarioConfig cfg_;
+  typename Node::Net net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> correct_;
+  std::uint64_t last_submit_ = 0;
+};
+
+// ERC20 block storm: every replica pools a seeded stream of mostly
+// per-account-commuting transfers, salted with allowance traffic and a
+// rare totalSupply barrier (the escalation lane inside a block).  16
+// accounts across 4 replicas keep the intra-block conflict graph wide,
+// so the replay waves actually fan out.
+ScenarioReport run_erc20_block_storm(const ScenarioConfig& cfg) {
+  constexpr std::size_t kAccts = 16;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(kAccts, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         kAccts, std::vector<Amount>(kAccts, 2)));
+  BlockHarness<Erc20LedgerSpec> h(cfg, initial);
+
+  Rng rng(cfg.seed * 977 + 13);
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      const std::uint64_t base = 10 + 17 * j + 4 * p;
+      for (std::uint64_t k = 0; k < 3; ++k) {
+        const auto caller = static_cast<ProcessId>(rng.below(kAccts));
+        const auto dst = static_cast<AccountId>(rng.below(kAccts));
+        const auto roll = rng.below(40);
+        if (roll == 0) {
+          h.submit_at(p, base + k, caller, Erc20Op::total_supply());
+        } else if (roll < 4) {
+          h.submit_at(p, base + k, caller,
+                      Erc20Op::approve(static_cast<ProcessId>(dst), 2));
+        } else if (roll < 8) {
+          h.submit_at(p, base + k, caller,
+                      Erc20Op::transfer_from(
+                          static_cast<AccountId>(rng.below(kAccts)), dst, 1));
+        } else {
+          h.submit_at(p, base + k, caller,
+                      Erc20Op::transfer(dst, 1 + rng.below(3)));
+        }
+      }
+    }
+  }
+
+  const Amount expected = kInitial * kAccts;
+  return h.finish([expected](const Erc20State& q)
+                      -> std::optional<std::string> {
+    if (q.total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(q.total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
+// Mixed block escalate: ERC721 blocks mixing the fast path
+// (argument-footprint transfers, operator management) with the
+// state-dependent-σ admin fragment (approve/ownerOf), which the replay
+// escalates to singleton barrier waves inside each block — the
+// escalation↔consensus correspondence of DESIGN.md §9.2 exercised
+// through the replicated pipeline.
+ScenarioReport run_mixed_block_escalate(const ScenarioConfig& cfg) {
+  constexpr std::size_t kAccts = 12;
+  constexpr std::size_t kTokens = 24;
+  std::vector<AccountId> owners(kTokens);
+  for (std::size_t t = 0; t < kTokens; ++t) {
+    owners[t] = static_cast<AccountId>(t % kAccts);
+  }
+  const Erc721State initial(kAccts, owners);
+  BlockHarness<Erc721LedgerSpec> h(cfg, initial);
+
+  Rng rng(cfg.seed * 1181 + 29);
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      const std::uint64_t base = 12 + 19 * j + 4 * p;
+      for (std::uint64_t k = 0; k < 3; ++k) {
+        const auto caller = static_cast<ProcessId>(rng.below(kAccts));
+        const auto tok = static_cast<TokenId>(rng.below(kTokens));
+        const auto roll = rng.below(20);
+        if (roll < 2) {  // escalates in replay: state-dependent σ
+          h.submit_at(p, base + k, caller,
+                      Erc721Op::approve(
+                          static_cast<ProcessId>(rng.below(kAccts)), tok));
+        } else if (roll < 3) {  // escalates
+          h.submit_at(p, base + k, caller, Erc721Op::owner_of(tok));
+        } else if (roll < 5) {  // fast path: σ = {caller}
+          h.submit_at(p, base + k, caller,
+                      Erc721Op::set_approval_for_all(
+                          static_cast<ProcessId>(rng.below(kAccts)),
+                          rng.chance(1, 2)));
+        } else {  // fast path: σ = {src, dst}
+          h.submit_at(p, base + k, caller,
+                      Erc721Op::transfer_from(
+                          static_cast<AccountId>(caller),
+                          static_cast<AccountId>(rng.below(kAccts)), tok));
+        }
+      }
+    }
+  }
+
+  return h.finish([](const Erc721State& q) -> std::optional<std::string> {
+    if (q.num_tokens() != kTokens) {
+      return "token count changed: " + std::to_string(q.num_tokens());
+    }
+    for (TokenId t = 0; t < kTokens; ++t) {
+      if (q.owner_of(t) >= kAccts) {
+        return "token " + std::to_string(t) + " owned by invalid account " +
+               std::to_string(q.owner_of(t));
+      }
+    }
+    return std::nullopt;
+  });
+}
+
 }  // namespace
 
 ScenarioReport run_scenario(const ScenarioConfig& cfg) {
@@ -680,6 +881,10 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_erc20_parallel_storm(cfg);
     case Workload::kMixedCommuteEscalate:
       return run_mixed_commute_escalate(cfg);
+    case Workload::kErc20BlockStorm:
+      return run_erc20_block_storm(cfg);
+    case Workload::kMixedBlockEscalate:
+      return run_mixed_block_escalate(cfg);
   }
   TS_EXPECTS(false);
   return {};

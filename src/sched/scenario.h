@@ -53,13 +53,20 @@ enum class FaultProfile : std::uint8_t {
 };
 
 /// The named workloads.  The first five (ISSUE 2) are distributed: a
-/// replica cluster over SimNet, where the fault axis is live.  The last
+/// replica cluster over SimNet, where the fault axis is live.  The next
 /// two (ISSUE 3) are HARDWARE workloads: they drive the commutativity-
 /// aware parallel executor (src/exec/) over a ConcurrentLedger — no
 /// network exists, so every fault profile runs them identically (the
 /// axis is inert) and the audits compare thread counts instead of
 /// replicas: the same batch must produce byte-identical ledger state on
 /// 1, 2 and 8 threads, equal to the sequential specification's.
+/// The last two (ISSUE 4) are BLOCK-PIPELINE workloads: distributed like
+/// the first five (live fault axis — blocks must survive drop,
+/// duplication, partition+heal, minority crash), but each consensus slot
+/// carries a whole block that every replica replays through its parallel
+/// ReplayEngine; `replay_threads` picks the per-replica worker count,
+/// and same seed + same BlockConfig must produce byte-identical
+/// committed histories for 1, 2 and 8 replay threads.
 enum class Workload : std::uint8_t {
   kErc20TransferStorm,   ///< replicated ERC20: transfer storm + allowance races
   kErc721MintTradeRace,  ///< replicated ERC721: treasury mints, spenders race
@@ -68,6 +75,8 @@ enum class Workload : std::uint8_t {
   kAtBcastPayments,      ///< consensus-free asset transfer over reliable bcast
   kErc20ParallelStorm,   ///< executor: commuting ERC20 storm across waves
   kMixedCommuteEscalate, ///< executor: ERC721 fast path + escalated admin ops
+  kErc20BlockStorm,      ///< block pipeline: batched ERC20 storm, parallel replay
+  kMixedBlockEscalate,   ///< block pipeline: ERC721 blocks with escalation lanes
 };
 
 const char* to_string(FaultProfile f);
@@ -84,10 +93,25 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   std::size_t num_replicas = 4;
   std::size_t intensity = 6;
+
+  // Block-pipeline knobs (used by the kErc20BlockStorm /
+  // kMixedBlockEscalate workloads only; see exec/block.h).  The committed
+  // history is a pure function of (workload, fault, seed, intensity,
+  // block knobs) and INDEPENDENT of replay_threads — the determinism
+  // criterion tests/block_pipeline_test.cc asserts.
+  std::size_t replay_threads = 1;      ///< ReplayEngine workers per replica
+  std::size_t block_max_ops = 8;       ///< size cut (ops per block)
+  std::uint64_t block_deadline = 25;   ///< deadline-cut tick period
+  std::size_t block_window = 1;        ///< TOB pipelining depth per replica
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
-/// submitting replica), merged over all correct replicas.
+/// submitting replica), merged over all correct replicas.  For block
+/// workloads the unit is the BLOCK and the clock starts at the block's
+/// CUT: an op's wait in the TxPool before its block is cut (up to one
+/// block_deadline period) is not included — compare block-lane
+/// percentiles against the batch-size-1 baseline with that bias in mind
+/// (EXPERIMENTS.md E15).
 struct LatencySummary {
   std::uint64_t count = 0;
   double mean = 0.0;
@@ -106,6 +130,11 @@ struct ScenarioReport {
 
   std::size_t submitted = 0;    ///< ops submitted by correct replicas
   std::size_t committed = 0;    ///< committed entries on the reference replica
+  /// Consensus slots behind `committed` on the reference replica: equals
+  /// `committed` for one-command-per-slot workloads; for the block
+  /// pipeline it is the number of committed BLOCKS (committed/slots is
+  /// the per-slot amortization the batch-size sweep measures).
+  std::size_t slots = 0;
   std::uint64_t sim_time = 0;   ///< simulated time at quiescence (audit incl.)
   /// Committed ops per 1000 simulated time units, measured through the
   /// reference replica's LAST local commit.  For fault-free runs this is
@@ -231,6 +260,7 @@ inline void fill_report_skeleton(ScenarioReport& rep, std::string workload,
   rep.history = std::move(history);
   rep.history_digest = digest_history(rep.history);
   rep.committed = committed;
+  rep.slots = committed;  // block workloads overwrite with their block count
   const std::uint64_t span = last_commit > 0 ? last_commit : sim_time;
   if (span > 0) {
     rep.commits_per_ktime = 1000.0 * static_cast<double>(committed) /
