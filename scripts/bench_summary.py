@@ -55,12 +55,15 @@ def rows_for(path):
         if b.get("run_type") == "aggregate":
             continue
         extras = []
-        # Schedule counters (bench_parallel_exec) plus the block-pipeline
+        # Schedule counters (bench_parallel_exec), the block-pipeline
         # counters (bench_block_pipeline: per-block schedule shape and the
-        # consensus-slot amortization of the replicated sweep).
+        # consensus-slot amortization of the replicated sweep), and the
+        # lane-split counters (bench_hybrid_lanes: consensus slots vs
+        # fast-lane commits vs the all-Paxos baseline's message bill).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
-                    "commits_per_ktime"):
+                    "commits_per_ktime", "consensus_slots",
+                    "fast_lane_commits", "fast_share", "msgs_sent"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

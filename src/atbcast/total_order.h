@@ -77,11 +77,17 @@ struct TobCmd {
 };
 
 /// One node of the Paxos-backed total-order broadcast.
-template <typename Payload>
+///
+/// `NetT` defaults to the plain SimNet carrying this broadcast's Paxos
+/// messages; the hybrid replica runtime substitutes a LaneNet
+/// (net/lane_mux.h) so the consensus lane shares one simulated network
+/// with the ERB fast lane.
+template <typename Payload,
+          typename NetT = SimNet<PaxosMsg<TobCmd<Payload>>>>
 class TotalOrderBcast {
  public:
   using Cmd = TobCmd<Payload>;
-  using Net = SimNet<PaxosMsg<Cmd>>;
+  using Net = NetT;
   /// Called exactly once per committed command, in slot order, with the
   /// same (slot, origin, nonce, payload) sequence on every replica.
   using Deliver = std::function<void(std::uint64_t slot, ProcessId origin,
@@ -96,7 +102,7 @@ class TotalOrderBcast {
       : net_(net), self_(self), deliver_(std::move(deliver)),
         window_(window == 0 ? 1 : window), everyone_(net.num_nodes()) {
     for (ProcessId p = 0; p < everyone_.size(); ++p) everyone_[p] = p;
-    paxos_ = std::make_unique<PaxosEngine<Cmd>>(
+    paxos_ = std::make_unique<PaxosEngine<Cmd, Net>>(
         net, self, [this](InstanceId) { return std::optional(everyone_); },
         [this](InstanceId slot, const Cmd& c) { on_decide(slot, c); },
         retry_delay);
@@ -195,7 +201,7 @@ class TotalOrderBcast {
   Deliver deliver_;
   std::size_t window_ = 1;           // pipelining depth (file comment)
   std::vector<ProcessId> everyone_;  // the constant acceptor group
-  std::unique_ptr<PaxosEngine<Cmd>> paxos_;
+  std::unique_ptr<PaxosEngine<Cmd, Net>> paxos_;
   std::vector<Cmd> pending_;  // our submissions, oldest first
   std::uint64_t next_nonce_ = 1;
   std::uint64_t next_deliver_ = 0;

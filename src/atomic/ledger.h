@@ -257,6 +257,13 @@ class ConcurrentLedger {
     void set_all() noexcept { all = true; }
   };
 
+  // Sorted insertion instead of std::sort + std::unique: a footprint has
+  // at most Footprint::kMaxAccounts entries, so the quadratic insert is
+  // at worst a handful of compares — and it keeps GCC 12's -O3
+  // -Warray-bounds from hallucinating out-of-bounds accesses inside
+  // std::__insertion_sort's fixed 16-element threshold walk over the
+  // small inline array (a known false positive; EXPERIMENTS.md E16 CI
+  // smoke keeps -O3 warning-free).
   ShardSet shards_of(const Footprint& fp) const {
     ShardSet ss;
     if (fp.all) {
@@ -264,11 +271,14 @@ class ConcurrentLedger {
       return ss;
     }
     for (std::size_t i = 0; i < fp.n; ++i) {
-      ss.ids[ss.n++] = static_cast<std::uint32_t>(fp.ids[i] % num_shards_);
+      const auto s = static_cast<std::uint32_t>(fp.ids[i] % num_shards_);
+      std::size_t j = 0;
+      while (j < ss.n && ss.ids[j] < s) ++j;
+      if (j < ss.n && ss.ids[j] == s) continue;  // duplicate shard
+      for (std::size_t k = ss.n; k > j; --k) ss.ids[k] = ss.ids[k - 1];
+      ss.ids[j] = s;
+      ++ss.n;
     }
-    std::sort(ss.ids.begin(), ss.ids.begin() + ss.n);
-    ss.n = static_cast<std::size_t>(
-        std::unique(ss.ids.begin(), ss.ids.begin() + ss.n) - ss.ids.begin());
     return ss;
   }
 

@@ -36,10 +36,16 @@ struct ErbMsg {
 };
 
 /// One node of the FIFO eager reliable broadcast.
-template <typename Payload>
+///
+/// `NetT` defaults to the plain SimNet carrying ErbMsg<Payload> — the
+/// standalone configuration (at_bcast, the dedicated tests).  Any type
+/// with the same send/send_all/set_handler/set_timer surface works; the
+/// hybrid replica runtime passes a LaneNet (net/lane_mux.h) so the ERB
+/// fast lane and the Paxos consensus lane share ONE simulated network.
+template <typename Payload, typename NetT = SimNet<ErbMsg<Payload>>>
 class ErbNode {
  public:
-  using Net = SimNet<ErbMsg<Payload>>;
+  using Net = NetT;
   using Deliver = std::function<void(ProcessId origin, std::uint64_t seq,
                                      const Payload&)>;
 
@@ -65,6 +71,26 @@ class ErbNode {
 
   /// Messages delivered so far (origin, seq) — for test assertions.
   std::uint64_t delivered_count() const noexcept { return delivered_n_; }
+
+  /// Per-origin FIFO frontier: the next sequence number this node will
+  /// deliver from `origin` (== how many of its messages are delivered).
+  /// Test/observability accessor.  Note the hybrid replica
+  /// (net/hybrid_replica.h) deliberately does NOT read this for its
+  /// merge-barrier cut: it mirrors delivered counts in its own deliver
+  /// callback, because next_deliver_ is incremented only AFTER the
+  /// callback returns — reading it from inside delivery would be
+  /// off by one.
+  std::uint64_t frontier(ProcessId origin) const {
+    return next_deliver_.at(origin);
+  }
+
+  /// Messages still awaiting at least one peer ack (retransmission is
+  /// live while this is non-zero; quiescence tests pin it to 0).
+  std::size_t unacked() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [key, missing] : pending_acks_) n += !missing.empty();
+    return n;
+  }
 
  private:
   using Key = std::pair<ProcessId, std::uint64_t>;

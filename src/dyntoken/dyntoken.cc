@@ -146,23 +146,38 @@ void DynTokenNode::process_ready_slots(AccountId a) {
 
 namespace {
 
+// Built with piecewise += (no `const char* + std::string&&` chains):
+// GCC 12's -O3 -Wrestrict misfires on the temporary-reusing operator+
+// overload (upstream PR105651; same restructuring as
+// exec/replay_engine.h's history line).
 std::string render_op(const DynOp& op) {
-  const std::string id =
-      "p" + std::to_string(op.caller) + "#" + std::to_string(op.nonce);
+  if (op.kind == DynOp::Kind::kNone) return "noop";
+  std::string s = "p";
+  s += std::to_string(op.caller);
+  s += '#';
+  s += std::to_string(op.nonce);
   switch (op.kind) {
     case DynOp::Kind::kNone:
-      return "noop";
+      break;
     case DynOp::Kind::kApprove:
-      return id + " approve(p" + std::to_string(op.spender) + ", " +
-             std::to_string(op.amount) + ")";
+      s += " approve(p";
+      s += std::to_string(op.spender);
+      break;
     case DynOp::Kind::kTransfer:
-      return id + " transfer(a" + std::to_string(op.dst) + ", " +
-             std::to_string(op.amount) + ")";
+      s += " transfer(a";
+      s += std::to_string(op.dst);
+      break;
     case DynOp::Kind::kTransferFrom:
-      return id + " transferFrom(a" + std::to_string(op.src) + ", a" +
-             std::to_string(op.dst) + ", " + std::to_string(op.amount) + ")";
+      s += " transferFrom(a";
+      s += std::to_string(op.src);
+      s += ", a";
+      s += std::to_string(op.dst);
+      break;
   }
-  return "?";
+  s += ", ";
+  s += std::to_string(op.amount);
+  s += ')';
+  return s;
 }
 
 }  // namespace
@@ -223,7 +238,11 @@ std::string DynTokenNode::history() const {
   std::string h;
   for (AccountId a = 0; a < account_logs_.size(); ++a) {
     for (std::size_t s = 0; s < account_logs_[a].size(); ++s) {
-      h += "a" + std::to_string(a) + "[" + std::to_string(s) + "] ";
+      h += 'a';
+      h += std::to_string(a);
+      h += '[';
+      h += std::to_string(s);
+      h += "] ";
       h += account_logs_[a][s];
       h += "\n";
     }

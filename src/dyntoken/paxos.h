@@ -58,10 +58,14 @@ struct PaxosMsg {
 
 /// One node's Paxos engine (proposer + acceptor + learner for every
 /// instance it participates in).
-template <typename Value>
+///
+/// `NetT` defaults to the plain SimNet carrying PaxosMsg<Value>; the
+/// hybrid replica runtime substitutes a LaneNet (net/lane_mux.h) so the
+/// consensus lane shares one simulated network with the ERB fast lane.
+template <typename Value, typename NetT = SimNet<PaxosMsg<Value>>>
 class PaxosEngine {
  public:
-  using Net = SimNet<PaxosMsg<Value>>;
+  using Net = NetT;
   /// Returns the acceptor group of an instance, or nullopt if this node
   /// cannot determine it yet.
   using GroupResolver =

@@ -1,6 +1,9 @@
-// ExecTraits instantiations for the token family — the per-spec
-// escalation rules the ConflictPlanner consults (DESIGN.md §9).
+// ExecTraits + SyncTraits instantiations for the token family — the
+// per-spec escalation rules the ConflictPlanner consults (DESIGN.md §9)
+// and the per-spec lane classification the hybrid replica runtime
+// consults (DESIGN.md §11).
 //
+// ExecTraits (intra-replica parallelism):
 //   ERC20  — every footprint is argument-only ({caller,dst}, {src,dst},
 //            {caller}); totalSupply's σ = A escalates via its whole-state
 //            footprint, not via a trait.  Default traits apply.
@@ -13,12 +16,27 @@
 //            their wave runs, so they escalate.  transferFrom,
 //            setApprovalForAll and isApprovedForAll name their σ in the
 //            arguments and stay on the fast path.
+//
+// SyncTraits (cross-replica ordering lane, objects/sync_class.h):
+//   ERC20  — transfer is the paper's CN = 1 operation (owner-signed
+//            debit of the caller's own account): kFast.  approve /
+//            transferFrom are the CN ≥ 2 allowance race; totalSupply
+//            and the reads observe a linearization of everyone's
+//            updates: kConsensus.
+//   ERC777 — send is owner-signed: kFast.  Operator management and
+//            operatorSend (a third party debiting the holder's account —
+//            the shared-account case) and the reads: kConsensus.
+//   ERC721 — default traits (everything kConsensus): ownership is the
+//            object the spenders race for, and even transferFrom guards
+//            a token whose owner is shared mutable state (the paper's
+//            CN = k result for k racing spenders).
 #pragma once
 
 #include "atomic/ledger_specs.h"
 #include "exec/conflict_planner.h"
 #include "exec/parallel_executor.h"
 #include "exec/txpool.h"
+#include "objects/sync_class.h"
 
 namespace tokensync {
 
@@ -38,6 +56,26 @@ struct ExecTraits<Erc721LedgerSpec> {
     return false;
   }
 };
+
+template <>
+struct SyncTraits<Erc20LedgerSpec> {
+  static SyncClass classify(ProcessId /*caller*/, const Erc20Op& op) {
+    return op.kind == Erc20Op::Kind::kTransfer ? SyncClass::kFast
+                                               : SyncClass::kConsensus;
+  }
+};
+
+template <>
+struct SyncTraits<Erc777LedgerSpec> {
+  static SyncClass classify(ProcessId /*caller*/, const Erc777Op& op) {
+    return op.kind == Erc777Op::Kind::kSend ? SyncClass::kFast
+                                            : SyncClass::kConsensus;
+  }
+};
+
+// Erc721LedgerSpec: intentionally NO SyncTraits specialization — the
+// conservative default (kConsensus for every op) is the correct
+// classification for ownership races (file comment).
 
 /// Ready-to-use executor pipelines of the token family.
 using Erc20Executor = ParallelExecutor<Erc20LedgerSpec>;

@@ -64,12 +64,18 @@ class ReplayEngine {
     ops_ += b.size();
     waves_ += rep.schedule.num_waves;
     escalated_ += rep.schedule.escalated;
+    // Appended piecewise (no `const char* + std::string&&` chains): GCC
+    // 12's -O3 -Wrestrict misfires on the temporary-reusing operator+
+    // overload (upstream PR105651); piecewise += is also one allocation
+    // cheaper per op.
     std::string line = "block[" + std::to_string(b.size()) + "]";
     for (std::size_t i = 0; i < b.ops.size(); ++i) {
-      line += i == 0 ? " " : " | ";
-      line += "p" + std::to_string(b.ops[i].caller) + " " +
-              b.ops[i].op.to_string() + " -> " +
-              response_to_string(rep.responses[i]);
+      line += i == 0 ? " p" : " | p";
+      line += std::to_string(b.ops[i].caller);
+      line += ' ';
+      line += b.ops[i].op.to_string();
+      line += " -> ";
+      line += response_to_string(rep.responses[i]);
     }
     line += " {waves=" + std::to_string(rep.schedule.num_waves) +
             " esc=" + std::to_string(rep.schedule.escalated) + "}";

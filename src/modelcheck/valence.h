@@ -154,8 +154,10 @@ std::string render_critical(const typename ValenceAnalyzer<C>::Critical& cr) {
   std::string out;
   out += "critical configuration q_c reached by schedule [";
   for (std::size_t i = 0; i < cr.schedule.size(); ++i) {
-    out += (i ? " " : "") + std::string("p") +
-           std::to_string(cr.schedule[i]);
+    // Piecewise += — GCC 12's -O3 -Wrestrict misfires on
+    // `const char* + std::string&&` (PR105651, cf. exec/replay_engine.h).
+    out += i ? " p" : "p";
+    out += std::to_string(cr.schedule[i]);
   }
   out += "]\n";
   for (const auto& s : cr.steps) {

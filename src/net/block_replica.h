@@ -30,7 +30,10 @@
 // (history / submitted / all_settled / commit_latencies / log), with
 // op-granular accounting on top: submitted() counts OPERATIONS (the unit
 // the settlement audit cares about), blocks_submitted() the consensus
-// payloads they were batched into.
+// payloads they were batched into.  The log / history / latency
+// plumbing itself lives once in ReplicaCore (net/replica_core.h),
+// reached through the inner ReplicaNode — this class adds only block
+// formation and the op-granular counters.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,308 @@
+// HybridReplicaNode — synchronization-tiered replication: a
+// consensus-free ERB fast lane for CN = 1 operations next to the Paxos
+// consensus lane, merged into one deterministic committed history
+// (DESIGN.md §11; the ISSUE 5 tentpole).
+//
+// The paper's point is that "pay for consensus" is per-OPERATION, not
+// per-object: owner-signed transfers (consensus number 1) need only
+// per-sender FIFO reliable broadcast, while approve/transferFrom races
+// need genuine consensus.  This runtime routes each submitted operation
+// by SyncTraits<S> (objects/sync_class.h):
+//
+//   fast lane  — caller == submitting replica AND classify() == kFast:
+//                the op rides the eager reliable broadcast (bcast/erb.h),
+//                consuming ZERO consensus slots;
+//   slow lane  — everything else: the op rides the Paxos-backed
+//                total-order broadcast (atbcast/total_order.h), and its
+//                consensus value carries a FRONTIER — the proposer's
+//                per-origin ERB delivery cut.
+//
+// Both lanes share ONE SimNet through the LaneMux (net/lane_mux.h), so
+// the whole fault matrix (loss, duplication, partition+heal, minority
+// crash) hits both at once.
+//
+// THE MERGE RULE (what makes the two-lane history deterministic):
+// committed consensus slots are barriers.  When slot s (value v, frontier
+// F) commits, a replica first waits until its ERB streams reach F, then
+// applies — as ONE block through the ReplayEngine — the epoch
+//
+//   [ all delivered-but-unapplied fast ops with seq < F[origin],
+//     in canonical (origin, seq) order ]  ++  [ v's operation ]
+//
+// and appends the block's rendering as the slot's log entry.  Because F
+// is part of the DECIDED value, every replica cuts the identical epoch
+// at the identical point; because the epoch is a ReplayEngine block, the
+// ConflictPlanner orders conflicting σ-footprints inside it and the
+// result is byte-identical for any replay worker count (the merge
+// barrier literally reuses the planner).  Fast ops beyond every decided
+// frontier apply in one terminal epoch at finalize() — for a
+// pure-transfer run (zero consensus slots) the entire history is that
+// canonical terminal epoch, a pure function of the submitted operations,
+// independent of replicas, fault profile and replay parallelism.
+//
+// Liveness of the barrier rests on ERB agreement (crash-stop model): a
+// frontier only references fast ops its proposer DELIVERED, and if any
+// correct node delivered an ERB message every correct node eventually
+// does.  The one theoretical gap — a proposer that delivers its own fast
+// op, wins a slot referencing it, then crashes before any send survives
+// link loss — needs crash + loss in one run, which the fault matrix
+// (and the crash-stop model's fair-lossy assumption with retransmission
+// until ack) does not produce; the Byzantine-lane upgrade (Bracha) is
+// ROADMAP future work.
+//
+// Fast-lane semantics: an op's response is computed at its canonical
+// merge position (the spec's Δ, same as every other runtime — an
+// underfunded transfer returns FALSE deterministically everywhere).
+// Commit latency for fast ops is submit -> local ERB delivery: delivery
+// fixes the op's canonical position irrevocably, which is the fast
+// lane's commit point; slow-op latency is submit -> barrier apply.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atbcast/total_order.h"
+#include "atomic/ledger.h"
+#include "bcast/erb.h"
+#include "common/error.h"
+#include "common/ids.h"
+#include "exec/block.h"
+#include "exec/replay_engine.h"
+#include "net/lane_mux.h"
+#include "net/replica_core.h"
+#include "net/simnet.h"
+#include "objects/sync_class.h"
+
+namespace tokensync {
+
+template <ConcurrentTokenSpec S>
+class HybridReplicaNode {
+ public:
+  using Op = typename S::Op;
+  using BatchOp = typename ConcurrentLedger<S>::BatchOp;
+
+  /// Fast-lane payload: one owner-signed operation.
+  struct FastCmd {
+    ProcessId caller = 0;
+    Op op{};
+
+    friend bool operator==(const FastCmd&, const FastCmd&) = default;
+  };
+
+  /// Slow-lane payload: the operation plus the proposer's ERB delivery
+  /// frontier — the merge barrier's cut (file comment).
+  struct SlowCmd {
+    ProcessId caller = 0;
+    Op op{};
+    std::vector<std::uint64_t> frontier;
+
+    friend bool operator==(const SlowCmd&, const SlowCmd&) = default;
+  };
+
+  using FastMsg = ErbMsg<FastCmd>;
+  using SlowMsg = PaxosMsg<TobCmd<SlowCmd>>;
+  using Mux = LaneMux<FastMsg, SlowMsg>;
+  using Net = typename Mux::Net;
+  using Erb = ErbNode<FastCmd, typename Mux::NetA>;
+  using Tob = TotalOrderBcast<SlowCmd, typename Mux::NetB>;
+  using Entry = ReplicaCore::Entry;
+
+  /// `force_consensus` routes EVERY operation through the slow lane —
+  /// the all-Paxos baseline the benchmarks compare the lane split
+  /// against (same script, same network, zero fast commits).
+  HybridReplicaNode(Net& net, ProcessId self,
+                    const typename S::SeqState& initial, ExecOptions eopts,
+                    bool force_consensus = false,
+                    std::uint64_t retry_delay = 40)
+      : net_(net), self_(self), force_consensus_(force_consensus),
+        mux_(net, self),
+        engine_(std::make_unique<ReplayEngine<S>>(initial, eopts)),
+        delivered_(net.num_nodes(), 0), applied_(net.num_nodes(), 0),
+        buf_(net.num_nodes()),
+        erb_(mux_.lane_a(), self,
+             [this](ProcessId origin, std::uint64_t seq, const FastCmd& c) {
+               on_fast_deliver(origin, seq, c);
+             }),
+        tob_(mux_.lane_b(), self,
+             [this](std::uint64_t slot, ProcessId origin,
+                    std::uint64_t nonce, const SlowCmd& c) {
+               on_slow_commit(slot, origin, nonce, c);
+             },
+             retry_delay) {}
+
+  HybridReplicaNode(const HybridReplicaNode&) = delete;
+  HybridReplicaNode& operator=(const HybridReplicaNode&) = delete;
+
+  /// Client intake: classifies and routes.  The fast lane additionally
+  /// requires caller == self — this replica must SPEAK FOR the caller's
+  /// account, because per-sender FIFO only orders one broadcaster's
+  /// stream (objects/sync_class.h).
+  void submit(ProcessId caller, Op op) {
+    core_.note_submission();
+    const bool fast = !force_consensus_ && caller == self_ &&
+                      SyncTraits<S>::classify(caller, op) == SyncClass::kFast;
+    if (fast) {
+      // ERB delivers our own broadcast SYNCHRONOUSLY inside broadcast()
+      // (store-and-forward delivers locally before returning), so the
+      // latency window must open before the call — on_fast_deliver
+      // closes it at local delivery, recording the fast lane's zero
+      // commit wait.  Our next sequence number is our broadcast count.
+      const std::uint64_t seq = fast_submitted_++;
+      core_.start_latency(fast_key(seq), net_.now());
+      const std::uint64_t sent =
+          erb_.broadcast(FastCmd{caller, std::move(op)});
+      TS_ASSERT(sent == seq);
+    } else {
+      SlowCmd c;
+      c.caller = caller;
+      c.op = std::move(op);
+      c.frontier = delivered_;
+      const std::uint64_t nonce = tob_.broadcast(std::move(c));
+      core_.start_latency(slow_key(nonce), net_.now());
+    }
+  }
+
+  /// Anti-entropy probe (slow lane; the ERB's periodic retransmission IS
+  /// the fast lane's anti-entropy).
+  void sync() { tob_.sync(); }
+
+  /// Applies the terminal epoch: every delivered-but-unapplied fast op,
+  /// in canonical (origin, seq) order, as one block.  Harnesses call
+  /// this once per correct replica after draining to convergence; a
+  /// crashed replica never finalizes (its history stays a prefix).
+  /// Idempotent — an empty terminal epoch appends nothing.
+  void finalize() {
+    Blk blk = cut_epoch(delivered_);
+    if (blk.empty()) return;
+    fast_lane_ops_ += blk.size();
+    // Label: one past the highest consensus slot this replica applied
+    // (slots that dedup'd away leave gaps, so slot COUNT could collide
+    // with a real slot number), origin 0 — both replica-independent, so
+    // the terminal entry renders identically everywhere.
+    const std::uint64_t label =
+        core_.log().empty() ? 0 : core_.log().back().slot + 1;
+    core_.append(label, /*origin=*/0, net_.now(), engine_->apply(blk));
+  }
+
+  // --- the scenario-audit interface (ReplicaCore surface) ---
+
+  std::size_t submitted() const noexcept { return core_.submitted(); }
+  std::string history() const { return core_.history(); }
+  const std::vector<Entry>& log() const noexcept { return core_.log(); }
+  const std::vector<std::uint64_t>& commit_latencies() const noexcept {
+    return core_.commit_latencies();
+  }
+  /// Every submission of THIS replica reached its commit point here:
+  /// slow-lane payloads all decided and applied (no parked barrier), and
+  /// every own fast op applied (which implies finalize() ran if any fast
+  /// op was submitted).
+  bool all_settled() const noexcept {
+    return tob_.all_settled() && barrier_queue_.empty() &&
+           applied_[self_] == fast_submitted_;
+  }
+
+  // --- lane accounting ---
+
+  const ReplayEngine<S>& engine() const noexcept { return *engine_; }
+  /// Consensus slots committed here (each = one barrier block).
+  std::size_t consensus_slots() const noexcept { return slots_committed_; }
+  /// Fast-lane ops applied here (inside barrier epochs + terminal epoch).
+  std::size_t fast_lane_ops() const noexcept { return fast_lane_ops_; }
+  std::size_t fast_submitted() const noexcept { return fast_submitted_; }
+
+ private:
+  using Blk = Block<S>;
+
+  struct PendingBarrier {
+    std::uint64_t slot = 0;
+    ProcessId origin = 0;
+    std::uint64_t nonce = 0;
+    SlowCmd cmd;
+  };
+
+  // Latency keys, lane-tagged so ERB sequence numbers and TOB nonces
+  // cannot collide in the shared ReplicaCore map.
+  static std::uint64_t fast_key(std::uint64_t seq) { return seq * 2 + 1; }
+  static std::uint64_t slow_key(std::uint64_t nonce) { return nonce * 2; }
+
+  void on_fast_deliver(ProcessId origin, std::uint64_t seq,
+                       const FastCmd& c) {
+    TS_ASSERT(seq == delivered_[origin]);  // ERB per-sender FIFO
+    ++delivered_[origin];
+    buf_[origin].push_back(c);
+    if (origin == self_) core_.finish_latency(fast_key(seq), net_.now());
+    try_apply();  // a parked barrier may now have its frontier
+  }
+
+  void on_slow_commit(std::uint64_t slot, ProcessId origin,
+                      std::uint64_t nonce, const SlowCmd& c) {
+    TS_ASSERT(c.frontier.size() == delivered_.size());
+    barrier_queue_.push_back(PendingBarrier{slot, origin, nonce, c});
+    try_apply();
+  }
+
+  /// Applies every head barrier whose frontier the ERB streams have
+  /// reached, in slot order (TotalOrderBcast delivers contiguously, and
+  /// a parked head blocks everything behind it — total order is
+  /// preserved through the merge).
+  void try_apply() {
+    while (!barrier_queue_.empty()) {
+      const PendingBarrier& head = barrier_queue_.front();
+      for (ProcessId o = 0; o < delivered_.size(); ++o) {
+        if (delivered_[o] < head.cmd.frontier[o]) return;  // park
+      }
+      Blk blk = cut_epoch(head.cmd.frontier);
+      fast_lane_ops_ += blk.size();
+      blk.ops.push_back(BatchOp{head.cmd.caller, head.cmd.op});
+      core_.append(head.slot, head.origin, net_.now(),
+                   engine_->apply(blk));
+      ++slots_committed_;
+      if (head.origin == self_) {
+        core_.finish_latency(slow_key(head.nonce), net_.now());
+      }
+      barrier_queue_.pop_front();
+    }
+  }
+
+  /// Drains the fast buffers up to `frontier` (per origin; a frontier
+  /// older than what a previous barrier already consumed drains nothing
+  /// — epochs only move forward) in canonical (origin, seq) order.
+  Blk cut_epoch(const std::vector<std::uint64_t>& frontier) {
+    Blk blk;
+    for (ProcessId o = 0; o < buf_.size(); ++o) {
+      const std::uint64_t upto =
+          std::min<std::uint64_t>(frontier[o], delivered_[o]);
+      while (applied_[o] < upto) {
+        FastCmd& c = buf_[o].front();
+        blk.ops.push_back(BatchOp{c.caller, std::move(c.op)});
+        buf_[o].pop_front();
+        ++applied_[o];
+      }
+    }
+    return blk;
+  }
+
+  Net& net_;
+  ProcessId self_;
+  bool force_consensus_;
+  Mux mux_;
+  std::unique_ptr<ReplayEngine<S>> engine_;  // pinned (replay_engine.h)
+  std::vector<std::uint64_t> delivered_;  ///< per-origin ERB frontier
+  std::vector<std::uint64_t> applied_;    ///< per-origin merge cursor
+  std::vector<std::deque<FastCmd>> buf_;  ///< delivered, unapplied
+  Erb erb_;
+  Tob tob_;
+  std::deque<PendingBarrier> barrier_queue_;
+  ReplicaCore core_;
+  std::size_t fast_submitted_ = 0;
+  std::size_t fast_lane_ops_ = 0;
+  std::size_t slots_committed_ = 0;
+};
+
+}  // namespace tokensync

@@ -1,0 +1,142 @@
+// Lane multiplexing — two broadcast protocols on ONE simulated network.
+//
+// The synchronization-tiered replica (net/hybrid_replica.h) runs the
+// eager reliable broadcast (bcast/erb.h, the CN = 1 fast lane) and the
+// Paxos-backed total-order broadcast (atbcast/total_order.h, the CN > 1
+// consensus lane) side by side on the same cluster.  SimNet carries ONE
+// wire-message type and ONE handler/timer-handler per node, so the two
+// protocol engines cannot both register directly.  This header supplies
+// the multiplexer:
+//
+//   * LaneMsg<A, B> — the variant wire type: every message on the shared
+//     network is either lane A's or lane B's message;
+//   * LaneNet<Sub, Base> — the per-node facade each engine binds to.  It
+//     presents exactly the SimNet surface the engines use (send,
+//     send_all, set_handler, set_timer, set_timer_handler, num_nodes,
+//     now, is_crashed), wrapping outgoing messages into the variant and
+//     tagging timers so both lanes can arm them independently;
+//   * LaneMux<A, B, Base> — owns the two facades for one node and
+//     installs the real SimNet handler/timer-handler that dispatches on
+//     the variant alternative / the timer tag.
+//
+// Timer tagging: lane timers are registered on the base net with
+// id * 2 + lane (lane 0 = A, lane 1 = B), and dispatched back with the
+// original id.  Both engines use small ids (ERB uses 0, Paxos uses the
+// slot number), so the doubling cannot overflow in any realistic run.
+//
+// Fault semantics are untouched: drops, duplication, partitions and
+// crashes happen on the BASE net, so both lanes see the same network
+// weather — exactly what the hybrid runtime's fault matrix needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <variant>
+
+#include "common/ids.h"
+#include "net/simnet.h"
+
+namespace tokensync {
+
+/// The multiplexed wire type.  Default-constructs to lane A's message
+/// (SimNet events require a default), which is harmless: defaulted
+/// messages never travel.
+template <typename A, typename B>
+using LaneMsg = std::variant<A, B>;
+
+/// Per-node, per-lane facade over the shared base net.  `lane` is this
+/// facade's tag (0 or 1) — it selects the variant alternative on send
+/// and the timer-id parity on set_timer.
+template <typename Sub, typename Base>
+class LaneNet {
+ public:
+  using Handler = std::function<void(ProcessId from, const Sub&)>;
+  using TimerHandler = std::function<void(std::uint64_t timer_id)>;
+
+  LaneNet(Base& base, std::uint8_t lane) : base_(base), lane_(lane) {}
+
+  std::size_t num_nodes() const noexcept { return base_.num_nodes(); }
+  std::uint64_t now() const noexcept { return base_.now(); }
+  bool is_crashed(ProcessId p) const { return base_.is_crashed(p); }
+
+  void send(ProcessId from, ProcessId to, Sub m) {
+    base_.send(from, to, wrap(std::move(m)));
+  }
+  void send_all(ProcessId from, const Sub& m) {
+    base_.send_all(from, wrap(m));
+  }
+  void set_timer(ProcessId node, std::uint64_t delay,
+                 std::uint64_t timer_id) {
+    base_.set_timer(node, delay, timer_id * 2 + lane_);
+  }
+
+  /// The engines register through these exactly as they would on a
+  /// SimNet; the mux's base handlers dispatch back through them.  The
+  /// node argument is accepted for interface compatibility (a facade is
+  /// per-node, so it is always the owner).
+  void set_handler(ProcessId /*node*/, Handler h) { handler_ = std::move(h); }
+  void set_timer_handler(ProcessId /*node*/, TimerHandler h) {
+    timer_handler_ = std::move(h);
+  }
+
+  void dispatch(ProcessId from, const Sub& m) const {
+    if (handler_) handler_(from, m);
+  }
+  void dispatch_timer(std::uint64_t timer_id) const {
+    if (timer_handler_) timer_handler_(timer_id);
+  }
+
+ private:
+  typename Base::MsgType wrap(Sub m) const {
+    return typename Base::MsgType(std::in_place_type<Sub>, std::move(m));
+  }
+
+  Base& base_;
+  std::uint8_t lane_;
+  Handler handler_;
+  TimerHandler timer_handler_;
+};
+
+/// One node's pair of lane facades plus the base-net dispatch glue.
+/// Construct it BEFORE the protocol engines (they bind to the facades),
+/// and keep it alive as long as they are (the facades hold their
+/// handlers).
+template <typename A, typename B>
+class LaneMux {
+ public:
+  using Msg = LaneMsg<A, B>;
+  using Net = SimNet<Msg>;
+  using NetA = LaneNet<A, Net>;
+  using NetB = LaneNet<B, Net>;
+
+  LaneMux(Net& net, ProcessId self)
+      : a_(net, 0), b_(net, 1) {
+    net.set_handler(self, [this](ProcessId from, const Msg& m) {
+      if (std::holds_alternative<A>(m)) {
+        a_.dispatch(from, std::get<A>(m));
+      } else {
+        b_.dispatch(from, std::get<B>(m));
+      }
+    });
+    net.set_timer_handler(self, [this](std::uint64_t id) {
+      if (id % 2 == 0) {
+        a_.dispatch_timer(id / 2);
+      } else {
+        b_.dispatch_timer(id / 2);
+      }
+    });
+  }
+
+  LaneMux(const LaneMux&) = delete;
+  LaneMux& operator=(const LaneMux&) = delete;
+
+  NetA& lane_a() noexcept { return a_; }
+  NetB& lane_b() noexcept { return b_; }
+
+ private:
+  NetA a_;
+  NetB b_;
+};
+
+}  // namespace tokensync

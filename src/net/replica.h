@@ -35,16 +35,19 @@
 // having it executable is what makes the comparison with atbcast/ (CN = 1
 // asset transfer) and dyntoken/ (per-σ-group consensus) concrete.
 //
-// The block pipeline (net/block_replica.h) stacks on this layer: a
-// ReplicaNode whose command is a whole BLOCK of token operations
-// (exec/block.h) and whose state machine replays each committed block
-// through the commutativity-aware parallel executor (DESIGN.md §10).
-// One slot per command stays the mechanism; the command just got wider.
+// This file is one of three node runtimes over the shared ReplicaCore
+// plumbing (net/replica_core.h — the committed log, the canonical
+// history rendering, latency and settlement bookkeeping):
+//   * ReplicaNode (here)      — one command per consensus slot;
+//   * BlockReplicaNode        — one BLOCK per slot, replayed through the
+//     (net/block_replica.h)     parallel executor (DESIGN.md §10);
+//   * HybridReplicaNode       — CN = 1 ops over the consensus-free ERB
+//     (net/hybrid_replica.h)    fast lane, CN > 1 ops through slots,
+//                               merged at slot barriers (DESIGN.md §11).
 #pragma once
 
 #include <concepts>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -53,6 +56,7 @@
 #include "atbcast/total_order.h"
 #include "common/error.h"
 #include "common/ids.h"
+#include "net/replica_core.h"
 #include "net/simnet.h"
 #include "objects/object.h"
 #include "objects/token_race.h"
@@ -75,24 +79,18 @@ concept ReplicaStateMachine =
       { m.apply(p, c) } -> std::convertible_to<std::string>;
     };
 
-/// One replica: a state machine fed by the total-order broadcast.
+/// One replica: a state machine fed by the total-order broadcast.  The
+/// log/history/latency/settlement plumbing lives in ReplicaCore
+/// (net/replica_core.h) — shared verbatim with the block and hybrid
+/// runtimes; this class owns only the consensus ordering lane and the
+/// state machine it feeds.
 template <ReplicaStateMachine SM>
 class ReplicaNode {
  public:
   using Cmd = typename SM::Cmd;
   using Tob = TotalOrderBcast<Cmd>;
   using Net = typename Tob::Net;
-
-  /// One committed log entry.  `line` is replica-independent (slot,
-  /// origin and the machine's apply rendering); `time` is this replica's
-  /// local commit time and is deliberately excluded from history()/
-  /// digest().
-  struct Entry {
-    std::uint64_t slot = 0;
-    ProcessId origin = 0;
-    std::uint64_t time = 0;
-    std::string line;
-  };
+  using Entry = ReplicaCore::Entry;
 
   /// `tob_window` is TotalOrderBcast's pipelining depth — 1 (default)
   /// preserves per-origin FIFO commits; block replicas may raise it to
@@ -110,66 +108,40 @@ class ReplicaNode {
   /// Submits a command on this replica's behalf; it commits (here and
   /// everywhere) once the broadcast sequences it.
   void submit(Cmd c) {
-    ++submitted_;
+    core_.note_submission();
     const std::uint64_t nonce = tob_.broadcast(std::move(c));
-    submit_time_.emplace(nonce, net_.now());
+    core_.start_latency(nonce, net_.now());
   }
 
   /// Anti-entropy probe (see TotalOrderBcast::sync).
   void sync() { tob_.sync(); }
 
   const SM& machine() const noexcept { return sm_; }
-  const std::vector<Entry>& log() const noexcept { return log_; }
-  std::size_t submitted() const noexcept { return submitted_; }
+  const std::vector<Entry>& log() const noexcept { return core_.log(); }
+  std::size_t submitted() const noexcept { return core_.submitted(); }
   bool all_settled() const noexcept { return tob_.all_settled(); }
 
   /// Commit latencies (simulated time, submit -> local commit) of this
   /// replica's own submissions.
   const std::vector<std::uint64_t>& commit_latencies() const noexcept {
-    return latencies_;
+    return core_.commit_latencies();
   }
 
-  /// Canonical committed history: identical bytes on every replica with
-  /// the same committed prefix (the determinism / agreement test object).
-  std::string history() const {
-    std::string h;
-    for (const Entry& e : log_) {
-      h += std::to_string(e.slot);
-      h += " p";
-      h += std::to_string(e.origin);
-      h += ": ";
-      h += e.line;
-      h += "\n";
-    }
-    return h;
-  }
+  /// Canonical committed history (ReplicaCore's shared rendering).
+  std::string history() const { return core_.history(); }
 
  private:
   void on_commit(std::uint64_t slot, ProcessId origin, std::uint64_t nonce,
                  const Cmd& c) {
-    Entry e;
-    e.slot = slot;
-    e.origin = origin;
-    e.time = net_.now();
-    e.line = sm_.apply(origin, c);
-    log_.push_back(std::move(e));
-    if (origin == self_) {
-      const auto it = submit_time_.find(nonce);
-      if (it != submit_time_.end()) {
-        latencies_.push_back(net_.now() - it->second);
-        submit_time_.erase(it);
-      }
-    }
+    core_.append(slot, origin, net_.now(), sm_.apply(origin, c));
+    if (origin == self_) core_.finish_latency(nonce, net_.now());
   }
 
   Net& net_;
   ProcessId self_;
   SM sm_;
   Tob tob_;
-  std::vector<Entry> log_;
-  std::map<std::uint64_t, std::uint64_t> submit_time_;  // nonce -> time
-  std::vector<std::uint64_t> latencies_;
-  std::size_t submitted_ = 0;
+  ReplicaCore core_;
 };
 
 // ---------------------------------------------------------------------------

@@ -76,6 +76,7 @@ struct NetStats {
 template <typename Msg>
 class SimNet {
  public:
+  using MsgType = Msg;
   using Handler = std::function<void(ProcessId from, const Msg&)>;
   using TimerHandler = std::function<void(std::uint64_t timer_id)>;
   using Callback = std::function<void()>;

@@ -1,0 +1,60 @@
+// SyncClass — the per-operation synchronization-power classifier (the
+// paper's consensus-number hierarchy as a routing decision).
+//
+// The paper's headline result: owner-signed token transfers have
+// consensus number 1 — a process that alone controls its account can
+// serialize its own debits, so FIFO reliable broadcast (no consensus)
+// replicates them — while operations that race over shared
+// authorization state (approve/transferFrom, ERC721 ownership, shared
+// accounts) genuinely require consensus.  SyncTraits<Spec> turns that
+// theorem into an executable routing rule: the hybrid replica runtime
+// (net/hybrid_replica.h) asks it per submitted operation and sends
+//
+//   kFast      — CN = 1: owner-signed transfer/burn whose source account
+//                is the caller's own and whose correctness needs only
+//                per-sender FIFO — over the eager reliable broadcast,
+//                consuming ZERO consensus slots;
+//   kConsensus — CN > 1: everything else — through the Paxos-backed
+//                total-order broadcast.
+//
+// The classifier is necessary but not sufficient for the fast lane: the
+// submitting replica must also SPEAK FOR the caller's account (one
+// owner per account, the paper's asset-transfer model), because
+// per-sender FIFO only orders one broadcaster's stream.  The runtime
+// enforces that second half (caller == submitting replica); the traits
+// only look at the operation shape.
+//
+// This is the dissemination-layer sibling of ExecTraits
+// (exec/conflict_planner.h): ExecTraits decides which ops may run in a
+// parallel wave (commutativity ON A REPLICA), SyncTraits decides which
+// ops may skip consensus (commutativity ACROSS replicas).  The default
+// is deliberately conservative — everything needs consensus — so a new
+// spec is correct before it is fast; per-spec specializations live in
+// exec/exec_specs.h next to the ExecTraits ones.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// Which ordering lane an operation needs (DESIGN.md §11).
+enum class SyncClass : std::uint8_t {
+  kFast,       ///< CN = 1: per-sender FIFO reliable broadcast suffices
+  kConsensus,  ///< CN > 1: must ride a total-order (consensus) slot
+};
+
+/// Per-spec synchronization traits.  The conservative default routes
+/// every operation through consensus (always sound: the consensus lane
+/// can carry CN = 1 operations, just wastefully).  Specialize per ledger
+/// spec in exec/exec_specs.h.
+template <typename S>
+struct SyncTraits {
+  static SyncClass classify(ProcessId /*caller*/,
+                            const typename S::Op& /*op*/) {
+    return SyncClass::kConsensus;
+  }
+};
+
+}  // namespace tokensync

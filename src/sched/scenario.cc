@@ -12,6 +12,7 @@
 #include "dyntoken/dyntoken.h"
 #include "exec/exec_specs.h"
 #include "net/block_replica.h"
+#include "net/hybrid_replica.h"
 #include "objects/erc20.h"
 #include "objects/erc721.h"
 #include "objects/erc777.h"
@@ -40,6 +41,8 @@ const char* to_string(Workload w) {
     case Workload::kMixedCommuteEscalate: return "mixed_commute_escalate";
     case Workload::kErc20BlockStorm: return "erc20_block_storm";
     case Workload::kMixedBlockEscalate: return "mixed_block_escalate";
+    case Workload::kErc20FastlaneStorm: return "erc20_fastlane_storm";
+    case Workload::kMixedSyncTiers: return "mixed_sync_tiers";
   }
   return "?";
 }
@@ -57,7 +60,8 @@ const std::vector<Workload>& all_workloads() {
       Workload::kErc777ApproveBurn, Workload::kDynTokenReconfig,
       Workload::kAtBcastPayments, Workload::kErc20ParallelStorm,
       Workload::kMixedCommuteEscalate, Workload::kErc20BlockStorm,
-      Workload::kMixedBlockEscalate};
+      Workload::kMixedBlockEscalate, Workload::kErc20FastlaneStorm,
+      Workload::kMixedSyncTiers};
   return kAll;
 }
 
@@ -115,11 +119,11 @@ std::uint64_t digest_history(const std::string& h) {
 std::string ScenarioReport::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%s/%s seed=%llu: %s commits=%zu time=%llu "
-                "thr=%.2f/kt p50=%llu p99=%llu",
+                "%s/%s seed=%llu: %s commits=%zu slots=%zu fast=%zu "
+                "time=%llu thr=%.2f/kt p50=%llu p99=%llu",
                 workload.c_str(), fault.c_str(),
                 static_cast<unsigned long long>(seed),
-                ok() ? "OK" : "VIOLATION", committed,
+                ok() ? "OK" : "VIOLATION", committed, slots, fast_lane_ops,
                 static_cast<unsigned long long>(sim_time), commits_per_ktime,
                 static_cast<unsigned long long>(latency.p50),
                 static_cast<unsigned long long>(latency.p99));
@@ -155,31 +159,18 @@ class LedgerHarness {
 
   /// Drains, audits agreement/settlement, fills the report skeleton.
   /// `conserve` renders a violation for one node's machine state, or
-  /// returns std::nullopt when the invariant holds.
+  /// returns std::nullopt when the invariant holds.  (The shared tail
+  /// lives in scenario.h's drain_cluster / cluster_report /
+  /// audit_conservation — one implementation for all three harnesses.)
   ScenarioReport finish(
       const std::function<std::optional<std::string>(const SM&)>& conserve) {
-    drain_to_convergence(net_, [this] {
-      for (std::size_t p = 0; p < nodes_.size(); ++p) {
-        if (correct_[p]) nodes_[p]->sync();
-      }
-    });
-
-    ScenarioReport rep;
+    drain_cluster(net_, nodes_, correct_);
     const std::size_t ref = reference_replica(correct_);
-    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault,
-                         cfg_.seed, cfg_.num_replicas, net_.now(),
-                         net_.stats(), nodes_[ref]->history(),
-                         nodes_[ref]->log().size(),
-                         nodes_[ref]->log().empty()
-                             ? 0
-                             : nodes_[ref]->log().back().time);
-    audit_replica_cluster(rep, nodes_, correct_);
-    for (std::size_t p = 0; p < nodes_.size(); ++p) {
-      if (auto v = conserve(nodes_[p]->machine())) {
-        rep.conservation = false;
-        rep.violations.push_back("replica " + std::to_string(p) + ": " + *v);
-      }
-    }
+    ScenarioReport rep = cluster_report(cfg_, net_, nodes_, correct_,
+                                        nodes_[ref]->log().size());
+    audit_conservation(rep, nodes_, [&conserve](const Node& n) {
+      return conserve(n.machine());
+    });
     return rep;
   }
 
@@ -718,30 +709,14 @@ class BlockHarness {
         net_.call_at(p, t, [node] { node->on_deadline(); });
       }
     }
-    drain_to_convergence(net_, [this] {
-      for (std::size_t p = 0; p < nodes_.size(); ++p) {
-        if (correct_[p]) nodes_[p]->sync();
-      }
-    });
-
-    ScenarioReport rep;
+    drain_cluster(net_, nodes_, correct_);
     const std::size_t ref = reference_replica(correct_);
-    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault,
-                         cfg_.seed, cfg_.num_replicas, net_.now(),
-                         net_.stats(), nodes_[ref]->history(),
-                         nodes_[ref]->ops_committed(),
-                         nodes_[ref]->log().empty()
-                             ? 0
-                             : nodes_[ref]->log().back().time);
+    ScenarioReport rep = cluster_report(cfg_, net_, nodes_, correct_,
+                                        nodes_[ref]->ops_committed());
     rep.slots = nodes_[ref]->blocks_committed();
-    audit_replica_cluster(rep, nodes_, correct_);
-    for (std::size_t p = 0; p < nodes_.size(); ++p) {
-      if (auto v =
-              conserve(nodes_[p]->engine().ledger().snapshot())) {
-        rep.conservation = false;
-        rep.violations.push_back("replica " + std::to_string(p) + ": " + *v);
-      }
-    }
+    audit_conservation(rep, nodes_, [&conserve](const Node& n) {
+      return conserve(n.engine().ledger().snapshot());
+    });
     return rep;
   }
 
@@ -859,6 +834,157 @@ ScenarioReport run_mixed_block_escalate(const ScenarioConfig& cfg) {
   });
 }
 
+// -------------------------------------------------------------------------
+// Hybrid (synchronization-tiered) workloads (ISSUE 5): the
+// HybridReplicaNode routes CN = 1 owner-signed transfers over the
+// consensus-free ERB fast lane and CN > 1 operations through Paxos
+// slots, merged deterministically at committed-slot barriers
+// (net/hybrid_replica.h).  Distributed, live fault axis; replica p
+// speaks for account p (the paper's one-owner-per-account model), so n
+// accounts = n replicas.  After draining, every CORRECT replica
+// finalizes its terminal fast epoch; a crashed replica's history stays
+// a barrier-prefix of the survivors'.
+// -------------------------------------------------------------------------
+
+template <typename Spec>
+class HybridHarness {
+ public:
+  using Node = HybridReplicaNode<Spec>;
+
+  HybridHarness(const ScenarioConfig& cfg,
+                const typename Spec::SeqState& initial)
+      : cfg_(cfg),
+        net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
+        correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
+    arm_fault_schedule(net_, cfg.fault);
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      nodes_.push_back(std::make_unique<Node>(
+          net_, p, initial, ExecOptions{.threads = cfg.replay_threads},
+          cfg.hybrid_force_consensus));
+    }
+  }
+
+  void submit_at(ProcessId p, std::uint64_t t, ProcessId caller,
+                 typename Spec::Op op) {
+    Node* node = nodes_[p].get();
+    net_.call_at(p, t, [node, caller, op] { node->submit(caller, op); });
+  }
+
+  ScenarioReport finish(
+      const std::function<std::optional<std::string>(
+          const typename Spec::SeqState&)>& conserve) {
+    drain_cluster(net_, nodes_, correct_);
+    // Terminal fast epoch — correct replicas only (a crashed replica
+    // cannot run anything; its history stays a prefix by construction).
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (correct_[p]) nodes_[p]->finalize();
+    }
+
+    const std::size_t ref = reference_replica(correct_);
+    ScenarioReport rep =
+        cluster_report(cfg_, net_, nodes_, correct_,
+                       nodes_[ref]->engine().ops_applied());
+    rep.slots = nodes_[ref]->consensus_slots();
+    rep.fast_lane_ops = nodes_[ref]->fast_lane_ops();
+    audit_conservation(rep, nodes_, [&conserve](const Node& n) {
+      return conserve(n.engine().ledger().snapshot());
+    });
+    return rep;
+  }
+
+ private:
+  ScenarioConfig cfg_;
+  typename Node::Net net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> correct_;
+};
+
+// ERC20 fast-lane storm: PURE owner-signed transfers — every operation
+// classifies CN = 1 and rides the ERB lane, so the run must commit with
+// ZERO consensus slots.  Every submission lands before t = 45 (the
+// minority-crash point) so the delivered op set — and therefore the
+// canonical terminal-epoch history — is identical across ALL fault
+// profiles, not just across replicas and replay thread counts (the
+// ISSUE 5 acceptance criterion; tests/hybrid_replica_test.cc).  Debits
+// per account stay under the initial balance, so no transfer's response
+// depends on the credit interleaving.
+ScenarioReport run_erc20_fastlane_storm(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(n, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         n, std::vector<Amount>(n, 0)));
+  HybridHarness<Erc20LedgerSpec> h(cfg, initial);
+
+  const std::size_t per_replica = 3 * cfg.intensity;
+  for (ProcessId p = 0; p < n; ++p) {
+    for (std::size_t j = 0; j < per_replica; ++j) {
+      const std::uint64_t t = 4 + p + 2 * j;  // all < 45 for default sizes
+      h.submit_at(p, t, p,
+                  Erc20Op::transfer(
+                      static_cast<AccountId>((p + 1 + j) % n),
+                      1 + static_cast<Amount>(j % 2)));
+    }
+  }
+
+  const Amount expected = kInitial * n;
+  return h.finish([expected](const Erc20State& q)
+                      -> std::optional<std::string> {
+    if (q.total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(q.total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
+// Mixed synchronization tiers: owner-signed transfers stream over the
+// fast lane while the allowance machinery — the paper's CN ≥ 2 fragment
+// — rides consensus slots: an approve ring (p approves p+1), periodic
+// transferFrom draws against the ring allowances, and one totalSupply
+// barrier (whole-state σ — escalated inside its merge block by the
+// planner, DESIGN.md §9/§11).  The committed history interleaves both
+// lanes under the decided frontiers: a pure per-profile function of the
+// seed, byte-identical across replicas and replay thread counts.
+ScenarioReport run_mixed_sync_tiers(const ScenarioConfig& cfg) {
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(n, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         n, std::vector<Amount>(n, 0)));
+  HybridHarness<Erc20LedgerSpec> h(cfg, initial);
+
+  for (ProcessId p = 0; p < n; ++p) {
+    h.submit_at(p, 8 + p, p,
+                Erc20Op::approve(static_cast<ProcessId>((p + 1) % n), 30));
+  }
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < n; ++p) {
+      const std::uint64_t t = 16 + 19 * j + 3 * p;
+      // Two fast transfers per beat, one consensus draw every third.
+      h.submit_at(p, t, p,
+                  Erc20Op::transfer(
+                      static_cast<AccountId>((p + 1 + j) % n),
+                      1 + static_cast<Amount>(j % 3)));
+      h.submit_at(p, t + 1, p,
+                  Erc20Op::transfer(
+                      static_cast<AccountId>((p + 2 + j) % n), 1));
+      if (j % 3 == 2) {
+        h.submit_at(p, t + 2, p,
+                    Erc20Op::transfer_from(
+                        static_cast<AccountId>((p + n - 1) % n), p, 2));
+      }
+    }
+  }
+  h.submit_at(0, 30 + 19 * cfg.intensity, 0, Erc20Op::total_supply());
+
+  const Amount expected = kInitial * n;
+  return h.finish([expected](const Erc20State& q)
+                      -> std::optional<std::string> {
+    if (q.total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(q.total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
 }  // namespace
 
 ScenarioReport run_scenario(const ScenarioConfig& cfg) {
@@ -885,6 +1011,10 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_erc20_block_storm(cfg);
     case Workload::kMixedBlockEscalate:
       return run_mixed_block_escalate(cfg);
+    case Workload::kErc20FastlaneStorm:
+      return run_erc20_fastlane_storm(cfg);
+    case Workload::kMixedSyncTiers:
+      return run_mixed_sync_tiers(cfg);
   }
   TS_EXPECTS(false);
   return {};
