@@ -148,7 +148,7 @@ void BlockPipeline_Replicated(benchmark::State& state) {
   state.counters["commit_p50"] = static_cast<double>(rep.latency.p50);
   state.counters["commit_p99"] = static_cast<double>(rep.latency.p99);
   state.counters["sim_time"] = static_cast<double>(rep.sim_time);
-  state.counters["msgs_sent"] = static_cast<double>(rep.net.sent);
+  tokensync_bench::export_net_counters(state, rep.net);
 }
 
 void replay_grid(benchmark::internal::Benchmark* b) {

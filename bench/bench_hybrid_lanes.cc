@@ -72,7 +72,7 @@ void HybridLanes_Scenario(benchmark::State& state) {
       rep.committed ? static_cast<double>(rep.fast_lane_ops) /
                           static_cast<double>(rep.committed)
                     : 0.0;
-  state.counters["msgs_sent"] = static_cast<double>(rep.net.sent);
+  tokensync_bench::export_net_counters(state, rep.net);
   state.counters["commit_p50"] = static_cast<double>(rep.latency.p50);
   state.counters["commit_p99"] = static_cast<double>(rep.latency.p99);
   state.counters["commits_per_ktime"] = rep.commits_per_ktime;

@@ -17,7 +17,25 @@
 #include <string>
 #include <vector>
 
+#include "net/simnet.h"
+
 namespace tokensync_bench {
+
+/// The one place the per-bench network counters are named: every
+/// SimNet-backed bench exports the same NetStats keys (message counts
+/// AND the wire-size byte totals of common/wire.h), so
+/// scripts/bench_summary.py and cross-artifact comparisons never chase
+/// per-bench spellings.
+inline void export_net_counters(benchmark::State& state,
+                                const tokensync::NetStats& net) {
+  state.counters["msgs_sent"] = static_cast<double>(net.sent);
+  state.counters["msgs_delivered"] = static_cast<double>(net.delivered);
+  state.counters["msgs_dropped"] = static_cast<double>(net.dropped);
+  state.counters["msgs_duplicated"] = static_cast<double>(net.duplicated);
+  state.counters["bytes_sent"] = static_cast<double>(net.bytes_sent);
+  state.counters["bytes_delivered"] =
+      static_cast<double>(net.bytes_delivered);
+}
 
 /// Copies `artifact` (a file in the CWD) into the configured results
 /// directory, creating it if needed.  Best-effort: a failure warns on

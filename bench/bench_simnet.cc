@@ -56,8 +56,7 @@ void Scenario(benchmark::State& state) {
   state.counters["commits_per_ktime"] = rep.commits_per_ktime;
   state.counters["sim_time"] = static_cast<double>(rep.sim_time);
   state.counters["committed"] = static_cast<double>(rep.committed);
-  state.counters["msgs_sent"] = static_cast<double>(rep.net.sent);
-  state.counters["msgs_dropped"] = static_cast<double>(rep.net.dropped);
+  tokensync_bench::export_net_counters(state, rep.net);
 }
 
 void scenario_matrix(benchmark::internal::Benchmark* b) {

@@ -57,13 +57,18 @@ def rows_for(path):
         extras = []
         # Schedule counters (bench_parallel_exec), the block-pipeline
         # counters (bench_block_pipeline: per-block schedule shape and the
-        # consensus-slot amortization of the replicated sweep), and the
+        # consensus-slot amortization of the replicated sweep), the
         # lane-split counters (bench_hybrid_lanes: consensus slots vs
-        # fast-lane commits vs the all-Paxos baseline's message bill).
+        # fast-lane commits vs the all-Paxos baseline's message bill),
+        # and the wire-size counters (every SimNet bench via
+        # export_net_counters, plus bench_compact_relay's consensus-value
+        # bytes and kGetOps recovery count).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
                     "commits_per_ktime", "consensus_slots",
-                    "fast_lane_commits", "fast_share", "msgs_sent"):
+                    "fast_lane_commits", "fast_share", "msgs_sent",
+                    "bytes_sent", "bytes_delivered", "proposal_bytes",
+                    "bytes_per_slot", "miss_recoveries"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

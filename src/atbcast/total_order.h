@@ -73,6 +73,11 @@ struct TobCmd {
   std::uint64_t nonce = 0;  ///< per-origin, 1-based; 0 = empty slot value
   Payload payload{};
 
+  /// Submission identity (origin + nonce) plus the payload's own bytes;
+  /// this is a consensus VALUE, so no framing constant of its own — the
+  /// PaxosMsg that carries it already pays the header.
+  std::uint64_t wire_size() const { return 12 + wire_size_of(payload); }
+
   friend bool operator==(const TobCmd&, const TobCmd&) = default;
 };
 

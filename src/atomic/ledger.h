@@ -58,6 +58,7 @@
 #include "common/checked.h"
 #include "common/error.h"
 #include "common/ids.h"
+#include "common/wire.h"
 #include "core/footprint.h"
 #include "objects/object.h"
 
@@ -118,6 +119,14 @@ class ConcurrentLedger {
   struct BatchOp {
     ProcessId caller = 0;
     Op op;
+
+    /// A relayed client operation is individually signed: caller id, the
+    /// op's own bytes, plus the per-op authentication constant
+    /// (common/wire.h).  This is the payload the compact relay replaces
+    /// with an 8-byte OpId on the consensus wire.
+    std::uint64_t wire_size() const {
+      return 4 + wire_size_of(op) + kOpAuthBytes;
+    }
 
     friend bool operator==(const BatchOp&, const BatchOp&) = default;
   };

@@ -33,6 +33,13 @@ struct ErbMsg {
   ProcessId origin = 0;
   std::uint64_t seq = 0;
   Payload payload{};
+
+  /// Acks are header-only; only kData carries the payload's bytes (the
+  /// type/origin/seq fields ride inside the framing constant).
+  std::uint64_t wire_size() const {
+    return kWireHeaderBytes +
+           (type == Type::kData ? wire_size_of(payload) : 0);
+  }
 };
 
 /// One node of the FIFO eager reliable broadcast.

@@ -54,6 +54,23 @@ struct PaxosMsg {
   /// behind — layers use it to keep their anti-entropy frontier walk
   /// going without paying any messages on the fault-free path.
   bool is_reply = false;
+
+  /// Value bytes travel only where the protocol actually ships a value:
+  /// kAccept (2a) and kDecide carry `value`; a kPromise carries
+  /// `accepted_value` iff has_accepted.  Everything else (ballots,
+  /// instance ids, flags) rides inside the framing constant — which is
+  /// precisely why thin consensus values (compact relay) slim every
+  /// phase of every slot at once.
+  std::uint64_t wire_size() const {
+    std::uint64_t bytes = kWireHeaderBytes;
+    if (type == Type::kAccept || type == Type::kDecide) {
+      bytes += wire_size_of(value);
+    }
+    if (type == Type::kPromise && has_accepted) {
+      bytes += wire_size_of(accepted_value);
+    }
+    return bytes;
+  }
 };
 
 /// One node's Paxos engine (proposer + acceptor + learner for every

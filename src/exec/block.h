@@ -61,7 +61,23 @@ struct Block {
   std::size_t size() const noexcept { return ops.size(); }
   bool empty() const noexcept { return ops.empty(); }
 
+  /// Full-payload relay cost: a length prefix plus every (signed) op.
+  std::uint64_t wire_size() const {
+    std::uint64_t bytes = 8;
+    for (const BatchOp& b : ops) bytes += wire_size_of(b);
+    return bytes;
+  }
+
   friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// A cut block together with its ops' relay identities (pool intake
+/// order) — what the compact relay announces and proposes as
+/// {block_id, ids} instead of the full payload.
+template <ConcurrentTokenSpec S>
+struct TaggedBlock {
+  Block<S> block;
+  std::vector<OpId> ids;  ///< ids[i] identifies block.ops[i]
 };
 
 /// Drains a TxPool into blocks under the size/deadline cut rule.  The
@@ -79,14 +95,28 @@ class BlockBuilder {
   /// (call after each submit).  Never yields a partial block — partial
   /// fills wait for the deadline.
   std::optional<Block<S>> cut_if_full() {
-    if (pool_.pending() < cfg_.max_ops) return std::nullopt;
-    return wrap(pool_.drain(cfg_.max_ops));
+    auto t = cut_tagged_if_full();
+    if (!t) return std::nullopt;
+    return std::move(t->block);
   }
 
   /// Deadline cut: yields whatever is pending, up to max_ops; an empty
   /// pool yields nothing (the empty-block case the tests pin down).
   std::optional<Block<S>> cut() {
-    auto ops = pool_.drain(cfg_.max_ops);
+    auto t = cut_tagged();
+    if (!t) return std::nullopt;
+    return std::move(t->block);
+  }
+
+  /// cut_if_full(), keeping the ops' relay identities.
+  std::optional<TaggedBlock<S>> cut_tagged_if_full() {
+    if (pool_.pending() < cfg_.max_ops) return std::nullopt;
+    return wrap(pool_.drain_tagged(cfg_.max_ops));
+  }
+
+  /// cut(), keeping the ops' relay identities.
+  std::optional<TaggedBlock<S>> cut_tagged() {
+    auto ops = pool_.drain_tagged(cfg_.max_ops);
     if (ops.empty()) {
       ++empty_cuts_;
       return std::nullopt;
@@ -99,9 +129,17 @@ class BlockBuilder {
   std::size_t empty_cuts() const noexcept { return empty_cuts_; }
 
  private:
-  std::optional<Block<S>> wrap(std::vector<typename Block<S>::BatchOp> ops) {
+  std::optional<TaggedBlock<S>> wrap(
+      std::vector<typename TxPool<S>::Tagged> tagged) {
     ++blocks_cut_;
-    return Block<S>{std::move(ops)};
+    TaggedBlock<S> tb;
+    tb.block.ops.reserve(tagged.size());
+    tb.ids.reserve(tagged.size());
+    for (auto& t : tagged) {
+      tb.ids.push_back(t.id);
+      tb.block.ops.push_back(std::move(t.op));
+    }
+    return tb;
   }
 
   TxPool<S>& pool_;

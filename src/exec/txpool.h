@@ -8,6 +8,14 @@
 // (DESIGN.md §9) — a reordering pool would change which execution the
 // audits compare against, not just performance.
 //
+// Relay identity (ISSUE 6): every pooled operation carries an OpId —
+// either assigned at intake (hash of this pool's origin replica and a
+// local sequence number, common/wire.h) or supplied by the caller
+// (submit_tagged).  The pool keeps an id-keyed index that SURVIVES
+// draining: the compact relay reconstructs committed op-ID blocks from
+// this index in O(1) per id, and a double-submit of an already-known id
+// is rejected at intake instead of relying on downstream dedup.
+//
 // The lock is a single mutex, not a sharded structure: intake is not the
 // hot path (one push per op vs. one footprint + locks + Δ per op on the
 // execution side), and a total submission order is exactly what the
@@ -19,11 +27,13 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "atomic/ledger.h"
 #include "common/ids.h"
+#include "common/wire.h"
 
 namespace tokensync {
 
@@ -32,20 +42,58 @@ class TxPool {
  public:
   using Op = typename S::Op;
   using BatchOp = typename ConcurrentLedger<S>::BatchOp;
+  using Tagged = TaggedOp<BatchOp>;
 
-  /// Enqueues `op` on behalf of `caller`.  Thread-safe.
-  void submit(ProcessId caller, Op op) {
+  /// Sets the replica identity mixed into auto-assigned OpIds; replicas
+  /// call this once at construction so ids are cluster-unique even when
+  /// the same account submits at several replicas.
+  void set_origin(ProcessId origin) {
     const std::scoped_lock lk(mu_);
-    q_.push_back(BatchOp{caller, std::move(op)});
-    ++submitted_;
+    origin_ = origin;
+  }
+
+  /// Enqueues `op` on behalf of `caller` under a fresh OpId (returned).
+  /// Thread-safe.
+  OpId submit(ProcessId caller, Op op) {
+    const std::scoped_lock lk(mu_);
+    const OpId id = make_op_id(origin_, next_seq_++);
+    enqueue(id, BatchOp{caller, std::move(op)});
+    return id;
+  }
+
+  /// Enqueues under a caller-supplied id; returns false (and pools
+  /// nothing) when the id is already known — the double-submit dedup.
+  /// Thread-safe.
+  bool submit_tagged(OpId id, ProcessId caller, Op op) {
+    const std::scoped_lock lk(mu_);
+    if (index_.contains(id)) return false;
+    enqueue(id, BatchOp{caller, std::move(op)});
+    return true;
+  }
+
+  /// O(1) lookup by OpId over every operation this pool has ever
+  /// accepted — drained or not (reconstruction needs drained ops).  The
+  /// pointer stays valid for the pool's lifetime (node-based map).
+  const BatchOp* lookup(OpId id) const {
+    const std::scoped_lock lk(mu_);
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &it->second;
   }
 
   /// Removes and returns up to `max_ops` operations in submission order.
   /// Thread-safe; an empty vector means the pool was empty.
   std::vector<BatchOp> drain(std::size_t max_ops = SIZE_MAX) {
+    std::vector<BatchOp> batch;
+    for (Tagged& t : drain_tagged(max_ops)) batch.push_back(std::move(t.op));
+    return batch;
+  }
+
+  /// drain(), keeping each op's relay identity — what the compact block
+  /// cut announces and proposes.
+  std::vector<Tagged> drain_tagged(std::size_t max_ops = SIZE_MAX) {
     const std::scoped_lock lk(mu_);
     const std::size_t n = std::min(max_ops, q_.size());
-    std::vector<BatchOp> batch;
+    std::vector<Tagged> batch;
     batch.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       batch.push_back(std::move(q_.front()));
@@ -69,8 +117,17 @@ class TxPool {
   }
 
  private:
+  void enqueue(OpId id, BatchOp b) {
+    index_.emplace(id, b);
+    q_.push_back(Tagged{id, std::move(b)});
+    ++submitted_;
+  }
+
   mutable std::mutex mu_;
-  std::deque<BatchOp> q_;
+  ProcessId origin_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::deque<Tagged> q_;
+  std::unordered_map<OpId, BatchOp> index_;  // survives draining
   std::size_t submitted_ = 0;
   std::size_t drained_ = 0;
 };

@@ -1,17 +1,14 @@
 // BlockReplicaNode — batched total-order replication with deterministic
-// parallel replay (the block pipeline, DESIGN.md §10).
+// parallel replay (the block pipeline, DESIGN.md §10) and a compact
+// relay lane (DESIGN.md §12).
 //
-// This is the fusion of the repo's two runtimes: the replicated
-// total-order machinery of net/replica.h (ISSUE 2) carrying the
-// commutativity-aware executor of src/exec/ (ISSUE 3) as its state
-// machine.  One replica =
+// One replica =
 //
-//   TxPool  --cut-->  BlockBuilder  --submit-->  ReplicaNode<BlockSM>
-//   (intake)          (size/deadline)            (one Paxos slot per
-//                                                 BLOCK, not per op)
-//                                   --commit-->  ReplayEngine
-//                                                (waves over the
-//                                                 ParallelExecutor)
+//   TxPool  --cut-->  BlockBuilder  --propose-->  TotalOrderBcast
+//   (intake,          (size/deadline)             (one Paxos slot per
+//    OpId index)                                   BLOCK, not per op)
+//                                   --commit---->  reconstruct + replay
+//                                                  (ReplayEngine waves)
 //
 // Clients call submit(caller, op): the op enters the pool, and a full
 // pool cuts a block immediately (size cut).  The driver ticks
@@ -26,121 +23,256 @@
 // byte-identical committed histories from the same seed — the block
 // pipeline's acceptance criterion.
 //
+// Relay modes (net/compact_relay.h):
+//   * kFull    — the consensus value carries the whole block payload
+//                (the pre-ISSUE-6 baseline);
+//   * kCompact — the proposer announces the cut block's (id, op) pairs
+//                over the auxiliary relay lane once, and the consensus
+//                value carries only {block_id, proposer, vector<OpId>}.
+//                On commit each replica reconstructs the block from its
+//                TxPool index and relay store; misses trigger the
+//                kGetOps recover-on-miss round-trip.  Committed blocks
+//                apply strictly in slot order — a block whose ops are
+//                still in flight PARKS (and parks every later slot), so
+//                reconstruction can delay the local apply but never
+//                change committed content or order: histories are
+//                byte-identical across relay modes.
+//
+// The consensus lane and the relay lane share ONE SimNet through the
+// LaneMux; relay traffic is auxiliary-class (second Rng/tie-break
+// stream, common/wire.h), so the consensus schedule does not depend on
+// the relay mode at all — that is the mode-invariance argument.
+//
 // Interface-compatible with ReplicaNode for the scenario audits
 // (history / submitted / all_settled / commit_latencies / log), with
 // op-granular accounting on top: submitted() counts OPERATIONS (the unit
 // the settlement audit cares about), blocks_submitted() the consensus
 // payloads they were batched into.  The log / history / latency
-// plumbing itself lives once in ReplicaCore (net/replica_core.h),
-// reached through the inner ReplicaNode — this class adds only block
-// formation and the op-granular counters.
+// plumbing lives once in ReplicaCore (net/replica_core.h).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "atbcast/total_order.h"
 #include "atomic/ledger.h"
 #include "common/ids.h"
+#include "common/wire.h"
 #include "exec/block.h"
 #include "exec/replay_engine.h"
 #include "exec/txpool.h"
-#include "net/replica.h"
+#include "net/compact_relay.h"
+#include "net/lane_mux.h"
+#include "net/replica_core.h"
 
 namespace tokensync {
 
-/// The ReplicaStateMachine whose command is a whole block: apply()
-/// replays it through the engine and returns the block's history line.
-/// Movable via the unique_ptr (the engine itself is pinned — its
-/// executor references its ledger).
+/// The consensus value of the block pipeline: either a full block
+/// payload (RelayMode::kFull) or its compact reference
+/// {block_id, proposer, ids} (RelayMode::kCompact).  One C++ type for
+/// both modes, so the Paxos/TOB machinery — and therefore the primary
+/// event schedule — is identical; only the wire SIZE differs.
 template <ConcurrentTokenSpec S>
-class BlockSM {
- public:
-  using Cmd = Block<S>;
+struct BlockValue {
+  bool compact = false;
+  Block<S> full;               ///< kFull payload; empty when compact
+  std::uint64_t block_id = 0;  ///< kCompact: recovery correlation
+  ProcessId proposer = 0;      ///< kCompact: whom to ask first on a miss
+  std::vector<OpId> ids;       ///< kCompact: the ordered op references
 
-  BlockSM(const typename S::SeqState& initial, ExecOptions opts,
-          std::size_t num_shards = 0)
-      : engine_(std::make_unique<ReplayEngine<S>>(initial, opts,
-                                                  num_shards)) {}
-
-  /// `origin` (the block's proposer) does not influence replay — the ops
-  /// carry their own callers; ReplicaNode records the origin in the log.
-  std::string apply(ProcessId /*origin*/, const Cmd& b) {
-    return engine_->apply(b);
+  /// Compact: block_id + proposer + length prefix + 8 bytes per id.
+  /// Full: the signed payload itself.  (The TobCmd/PaxosMsg wrappers add
+  /// their own bytes on top — this is what per-slot proposal bytes
+  /// measure.)
+  std::uint64_t wire_size() const {
+    return compact ? 8 + 4 + 8 + 8 * ids.size() : wire_size_of(full);
   }
 
-  const ReplayEngine<S>& engine() const noexcept { return *engine_; }
-
- private:
-  std::unique_ptr<ReplayEngine<S>> engine_;
+  friend bool operator==(const BlockValue&, const BlockValue&) = default;
 };
 
 template <ConcurrentTokenSpec S>
 class BlockReplicaNode {
  public:
   using Op = typename S::Op;
-  using SM = BlockSM<S>;
-  using Node = ReplicaNode<SM>;
-  using Net = typename Node::Net;
-  using Entry = typename Node::Entry;
+  using BatchOp = typename ConcurrentLedger<S>::BatchOp;
+  using Value = BlockValue<S>;
+  /// Lane 0: the consensus lane's Paxos traffic.  Lane 1: the relay
+  /// recovery lane (auxiliary-class).
+  using Mux = LaneMux<PaxosMsg<TobCmd<Value>>, RelayMsg<BatchOp>>;
+  using Net = typename Mux::Net;
+  using Tob = TotalOrderBcast<Value, typename Mux::NetA>;
+  using Relay = RelayEndpoint<BatchOp, typename Mux::NetB>;
+  using Entry = ReplicaCore::Entry;
 
   BlockReplicaNode(Net& net, ProcessId self,
                    const typename S::SeqState& initial, BlockConfig bcfg,
-                   ExecOptions eopts)
-      : builder_(pool_, bcfg),
-        node_(net, self, SM(initial, eopts), /*retry_delay=*/40,
-              bcfg.pipeline_window) {}
+                   ExecOptions eopts, RelayMode relay_mode = RelayMode::kFull)
+      : net_(net), self_(self), relay_mode_(relay_mode),
+        engine_(std::make_unique<ReplayEngine<S>>(initial, eopts)),
+        builder_(pool_, bcfg), mux_(net, self),
+        tob_(mux_.lane_a(), self,
+             [this](std::uint64_t slot, ProcessId origin, std::uint64_t nonce,
+                    const Value& v) { on_commit(slot, origin, nonce, v); },
+             /*retry_delay=*/40, bcfg.pipeline_window),
+        relay_(mux_.lane_b(), self, [this] { try_apply(); }) {
+    pool_.set_origin(self);
+  }
 
   /// Client intake: pools the op; a full pool cuts a block immediately.
   void submit(ProcessId caller, Op op) {
     pool_.submit(caller, std::move(op));
     ++ops_submitted_;
-    if (auto b = builder_.cut_if_full()) node_.submit(std::move(*b));
+    if (auto tb = builder_.cut_tagged_if_full()) propose(std::move(*tb));
   }
 
   /// Deadline tick (drivers schedule this every BlockConfig::deadline):
   /// flushes a partial fill; a no-op on an empty pool.
   void on_deadline() {
-    if (auto b = builder_.cut()) node_.submit(std::move(*b));
+    if (auto tb = builder_.cut_tagged()) propose(std::move(*tb));
   }
 
-  /// Anti-entropy probe (TotalOrderBcast::sync via ReplicaNode).
-  void sync() { node_.sync(); }
+  /// Anti-entropy probe (TotalOrderBcast::sync).
+  void sync() { tob_.sync(); }
 
   // --- the scenario-audit interface (mirrors ReplicaNode) ---
 
   /// Operations submitted here (the settlement audit's unit).
   std::size_t submitted() const noexcept { return ops_submitted_; }
-  /// All pooled ops were cut AND all cut blocks committed here.
+  /// All pooled ops were cut, all cut blocks committed here, and every
+  /// committed block has been reconstructed and applied.
   bool all_settled() const {
-    return pool_.pending() == 0 && node_.all_settled();
+    return pool_.pending() == 0 && tob_.all_settled() && parked_.empty();
   }
-  std::string history() const { return node_.history(); }
-  const std::vector<Entry>& log() const noexcept { return node_.log(); }
-  /// Per-BLOCK commit latencies (submit of the block -> local commit).
+  std::string history() const { return core_.history(); }
+  const std::vector<Entry>& log() const noexcept { return core_.log(); }
+  /// Per-BLOCK commit latencies (submit of the block -> local apply; in
+  /// compact mode this includes any recover-on-miss wait).
   const std::vector<std::uint64_t>& commit_latencies() const noexcept {
-    return node_.commit_latencies();
+    return core_.commit_latencies();
   }
-  const SM& machine() const noexcept { return node_.machine(); }
 
   // --- block-granular accounting ---
 
-  const ReplayEngine<S>& engine() const noexcept {
-    return node_.machine().engine();
-  }
-  std::size_t blocks_submitted() const noexcept { return node_.submitted(); }
-  std::size_t blocks_committed() const noexcept { return node_.log().size(); }
-  std::size_t ops_committed() const noexcept { return engine().ops_applied(); }
+  const ReplayEngine<S>& engine() const noexcept { return *engine_; }
+  std::size_t blocks_submitted() const noexcept { return core_.submitted(); }
+  std::size_t blocks_committed() const noexcept { return core_.log().size(); }
+  std::size_t ops_committed() const noexcept { return engine_->ops_applied(); }
   const BlockBuilder<S>& builder() const noexcept { return builder_; }
 
+  // --- relay accounting / test hooks ---
+
+  RelayMode relay_mode() const noexcept { return relay_mode_; }
+  const Relay& relay() const noexcept { return relay_; }
+  /// Consensus-value bytes of the slots committed here (numerator of the
+  /// per-slot proposal bytes metric).
+  std::uint64_t proposal_bytes() const noexcept { return proposal_bytes_; }
+  /// Test hook: suppress announcements so every peer misses every op and
+  /// reconstruction must go through kGetOps.
+  void set_announce_enabled(bool enabled) {
+    relay_.set_announce_enabled(enabled);
+  }
+
  private:
+  void propose(TaggedBlock<S> tb) {
+    Value v;
+    if (relay_mode_ == RelayMode::kCompact) {
+      v.compact = true;
+      // Block ids share the OpId hash but key a disjoint map (recovery
+      // correlation, never the op store), so an accidental collision
+      // with an op id is harmless.
+      v.block_id = make_op_id(self_, blocks_proposed_++);
+      v.proposer = self_;
+      v.ids = tb.ids;
+      std::vector<TaggedOp<BatchOp>> tagged;
+      tagged.reserve(tb.ids.size());
+      for (std::size_t i = 0; i < tb.ids.size(); ++i) {
+        tagged.push_back(TaggedOp<BatchOp>{tb.ids[i], tb.block.ops[i]});
+      }
+      relay_.announce(tagged);
+    } else {
+      v.full = std::move(tb.block);
+    }
+    core_.note_submission();
+    const std::uint64_t nonce = tob_.broadcast(std::move(v));
+    core_.start_latency(nonce, net_.now());
+  }
+
+  void on_commit(std::uint64_t slot, ProcessId origin, std::uint64_t nonce,
+                 const Value& v) {
+    parked_.push_back(Parked{slot, origin, nonce, v});
+    try_apply();
+  }
+
+  /// Applies parked blocks strictly in commit (slot) order; the head
+  /// blocks the tail, so a reconstruction stall delays applies without
+  /// reordering them.
+  void try_apply() {
+    while (!parked_.empty()) {
+      Parked& h = parked_.front();
+      std::vector<OpId> missing;
+      std::optional<Block<S>> blk = reconstruct(h.value, missing);
+      if (!blk) {
+        relay_.fetch(h.value.block_id, h.value.proposer, std::move(missing),
+                     h.value.ids);
+        return;
+      }
+      relay_.cancel(h.value.block_id);
+      proposal_bytes_ += wire_size_of(h.value);
+      core_.append(h.slot, h.origin, net_.now(), engine_->apply(*blk));
+      if (h.origin == self_) core_.finish_latency(h.nonce, net_.now());
+      parked_.pop_front();
+    }
+  }
+
+  /// Rebuilds the committed block: trivial for full values; for compact
+  /// values, each id resolves from the local TxPool index or the relay
+  /// store.  Unresolved ids land in `missing`.
+  std::optional<Block<S>> reconstruct(const Value& v,
+                                      std::vector<OpId>& missing) {
+    if (!v.compact) return v.full;
+    Block<S> blk;
+    blk.ops.reserve(v.ids.size());
+    for (OpId id : v.ids) {
+      const BatchOp* op = pool_.lookup(id);
+      if (!op) op = relay_.find(id);
+      if (!op) {
+        missing.push_back(id);
+        continue;
+      }
+      blk.ops.push_back(*op);
+    }
+    if (!missing.empty()) return std::nullopt;
+    return blk;
+  }
+
+  struct Parked {
+    std::uint64_t slot = 0;
+    ProcessId origin = 0;
+    std::uint64_t nonce = 0;
+    Value value;
+  };
+
+  Net& net_;
+  ProcessId self_;
+  RelayMode relay_mode_;
   TxPool<S> pool_;
+  std::unique_ptr<ReplayEngine<S>> engine_;
   BlockBuilder<S> builder_;
-  Node node_;
+  Mux mux_;
+  Tob tob_;
+  Relay relay_;
+  ReplicaCore core_;
+  std::deque<Parked> parked_;
   std::size_t ops_submitted_ = 0;
+  std::uint64_t blocks_proposed_ = 0;
+  std::uint64_t proposal_bytes_ = 0;
 };
 
 }  // namespace tokensync

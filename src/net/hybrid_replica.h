@@ -1,7 +1,8 @@
 // HybridReplicaNode — synchronization-tiered replication: a
 // consensus-free ERB fast lane for CN = 1 operations next to the Paxos
 // consensus lane, merged into one deterministic committed history
-// (DESIGN.md §11; the ISSUE 5 tentpole).
+// (DESIGN.md §11; the ISSUE 5 tentpole), with the ISSUE 6 bytes-on-wire
+// levers on both lanes.
 //
 // The paper's point is that "pay for consensus" is per-OPERATION, not
 // per-object: owner-signed transfers (consensus number 1) need only
@@ -17,9 +18,9 @@
 //                consensus value carries a FRONTIER — the proposer's
 //                per-origin ERB delivery cut.
 //
-// Both lanes share ONE SimNet through the LaneMux (net/lane_mux.h), so
+// All lanes share ONE SimNet through the LaneMux (net/lane_mux.h), so
 // the whole fault matrix (loss, duplication, partition+heal, minority
-// crash) hits both at once.
+// crash) hits them at once.
 //
 // THE MERGE RULE (what makes the two-lane history deterministic):
 // committed consensus slots are barriers.  When slot s (value v, frontier
@@ -40,22 +41,53 @@
 // canonical terminal epoch, a pure function of the submitted operations,
 // independent of replicas, fault profile and replay parallelism.
 //
+// ISSUE 6 — the bytes levers (DESIGN.md §12):
+//
+//   * ERB BATCHING (HybridConfig::erb_batch / erb_deadline).  The fast
+//     lane broadcasts one FastBatch per size/deadline cut instead of one
+//     message per op — the §10 cut rule transplanted onto the O(n²)
+//     flood.  A batch is one wire message carrying ONE client signature
+//     (same origin, one signer), so the per-broadcast header, the n² ack
+//     traffic and the kOpAuthBytes all amortize over the batch.  ERB
+//     sequence numbers, the frontier vector and the merge cursors become
+//     BATCH-granular; each batch unrolls in submission order inside its
+//     epoch, so per-origin FIFO and the origin-major canonical order are
+//     untouched.  The deadline cut is a node-local one-shot callback
+//     (armed when the buffer becomes non-empty), so no op waits more
+//     than erb_deadline for its cut; an empty buffer's tick broadcasts
+//     nothing.
+//   * COMPACT SLOW LANE (HybridConfig::relay_mode).  Under
+//     RelayMode::kCompact a slow command's consensus value carries only
+//     {frontier, OpId}: the proposer announces the full (signed) payload
+//     once on the auxiliary relay lane (net/compact_relay.h), every
+//     phase of every Paxos slot ships the 8-byte reference, and a
+//     replica that committed the slot without the payload recovers it
+//     with the kGetOps round-trip.  Relay traffic is auxiliary-class
+//     (second Rng/tie-break stream), so the primary schedule — ERB and
+//     Paxos alike — is bit-identical across relay modes; recovery can
+//     only delay a barrier's local APPLY (the barrier queue parks),
+//     never change committed content or order: histories are
+//     byte-identical between kFull and kCompact.
+//
 // Liveness of the barrier rests on ERB agreement (crash-stop model): a
-// frontier only references fast ops its proposer DELIVERED, and if any
-// correct node delivered an ERB message every correct node eventually
-// does.  The one theoretical gap — a proposer that delivers its own fast
-// op, wins a slot referencing it, then crashes before any send survives
-// link loss — needs crash + loss in one run, which the fault matrix
-// (and the crash-stop model's fair-lossy assumption with retransmission
-// until ack) does not produce; the Byzantine-lane upgrade (Bracha) is
-// ROADMAP future work.
+// frontier only references fast batches its proposer DELIVERED, and if
+// any correct node delivered an ERB message every correct node
+// eventually does.  The one theoretical gap — a proposer that delivers
+// its own fast batch, wins a slot referencing it, then crashes before
+// any send survives link loss — needs crash + loss in one run, which
+// the fault matrix (and the crash-stop model's fair-lossy assumption
+// with retransmission until ack) does not produce; the Byzantine-lane
+// upgrade (Bracha) is ROADMAP future work.
 //
 // Fast-lane semantics: an op's response is computed at its canonical
 // merge position (the spec's Δ, same as every other runtime — an
 // underfunded transfer returns FALSE deterministically everywhere).
-// Commit latency for fast ops is submit -> local ERB delivery: delivery
-// fixes the op's canonical position irrevocably, which is the fast
-// lane's commit point; slow-op latency is submit -> barrier apply.
+// Commit latency for fast ops is submit -> local ERB delivery OF ITS
+// BATCH: delivery fixes the batch's canonical position irrevocably,
+// which is the fast lane's commit point — so batching trades per-op
+// latency (up to the cut wait) for bytes, and the benchmarks report
+// both sides of that trade.  Slow-op latency is submit -> barrier apply
+// (including any compact-relay recovery wait).
 #pragma once
 
 #include <algorithm>
@@ -72,8 +104,10 @@
 #include "bcast/erb.h"
 #include "common/error.h"
 #include "common/ids.h"
+#include "common/wire.h"
 #include "exec/block.h"
 #include "exec/replay_engine.h"
+#include "net/compact_relay.h"
 #include "net/lane_mux.h"
 #include "net/replica_core.h"
 #include "net/simnet.h"
@@ -81,60 +115,96 @@
 
 namespace tokensync {
 
+/// Hybrid runtime knobs (the lane split itself is SyncTraits-driven).
+struct HybridConfig {
+  /// Slow-lane relay policy: full payloads in every Paxos phase, or
+  /// op-ID references with recover-on-miss (history-invariant).
+  RelayMode relay_mode = RelayMode::kFull;
+  /// Fast-lane size cut: own fast ops per ERB broadcast.  1 = the
+  /// op-per-message baseline (no deadline callback is ever armed).
+  std::size_t erb_batch = 1;
+  /// Fast-lane deadline cut period (simulated time): a partial batch
+  /// never waits longer than this for its broadcast.
+  std::uint64_t erb_deadline = 25;
+  /// Route EVERY operation through the consensus lane (SyncTraits
+  /// ignored) — the all-Paxos baseline the benchmarks compare the lane
+  /// split against (same script, same network, zero fast commits).
+  bool force_consensus = false;
+};
+
 template <ConcurrentTokenSpec S>
 class HybridReplicaNode {
  public:
   using Op = typename S::Op;
   using BatchOp = typename ConcurrentLedger<S>::BatchOp;
 
-  /// Fast-lane payload: one owner-signed operation.
-  struct FastCmd {
+  /// Fast-lane payload: one same-origin run of owner-signed operations
+  /// (the submitting replica speaks for exactly one account, so a batch
+  /// has one caller and ONE signature).
+  struct FastBatch {
     ProcessId caller = 0;
-    Op op{};
+    std::vector<Op> ops;
 
-    friend bool operator==(const FastCmd&, const FastCmd&) = default;
+    /// caller + length prefix + payloads + one shared signature.
+    std::uint64_t wire_size() const {
+      std::uint64_t bytes = 4 + 8 + kOpAuthBytes;
+      for (const Op& op : ops) bytes += wire_size_of(op);
+      return bytes;
+    }
+
+    friend bool operator==(const FastBatch&, const FastBatch&) = default;
   };
 
   /// Slow-lane payload: the operation plus the proposer's ERB delivery
-  /// frontier — the merge barrier's cut (file comment).
+  /// frontier — the merge barrier's cut (file comment).  Under compact
+  /// relay the op stays home (announced on the relay lane) and only the
+  /// 8-byte `id` travels; the frontier is the barrier semantics itself
+  /// and always rides in the decided value.
   struct SlowCmd {
     ProcessId caller = 0;
     Op op{};
     std::vector<std::uint64_t> frontier;
+    bool compact = false;
+    OpId id = 0;
+
+    std::uint64_t wire_size() const {
+      const std::uint64_t common = 8 + 8 * frontier.size();
+      return compact ? common + 8
+                     : common + 4 + wire_size_of(op) + kOpAuthBytes;
+    }
 
     friend bool operator==(const SlowCmd&, const SlowCmd&) = default;
   };
 
-  using FastMsg = ErbMsg<FastCmd>;
+  using FastMsg = ErbMsg<FastBatch>;
   using SlowMsg = PaxosMsg<TobCmd<SlowCmd>>;
-  using Mux = LaneMux<FastMsg, SlowMsg>;
+  using Mux = LaneMux<FastMsg, SlowMsg, RelayMsg<BatchOp>>;
   using Net = typename Mux::Net;
-  using Erb = ErbNode<FastCmd, typename Mux::NetA>;
-  using Tob = TotalOrderBcast<SlowCmd, typename Mux::NetB>;
+  using Erb = ErbNode<FastBatch, typename Mux::template LaneT<0>>;
+  using Tob = TotalOrderBcast<SlowCmd, typename Mux::template LaneT<1>>;
+  using Relay = RelayEndpoint<BatchOp, typename Mux::template LaneT<2>>;
   using Entry = ReplicaCore::Entry;
 
-  /// `force_consensus` routes EVERY operation through the slow lane —
-  /// the all-Paxos baseline the benchmarks compare the lane split
-  /// against (same script, same network, zero fast commits).
   HybridReplicaNode(Net& net, ProcessId self,
                     const typename S::SeqState& initial, ExecOptions eopts,
-                    bool force_consensus = false,
-                    std::uint64_t retry_delay = 40)
-      : net_(net), self_(self), force_consensus_(force_consensus),
-        mux_(net, self),
+                    HybridConfig hcfg = {}, std::uint64_t retry_delay = 40)
+      : net_(net), self_(self), cfg_(hcfg), mux_(net, self),
         engine_(std::make_unique<ReplayEngine<S>>(initial, eopts)),
         delivered_(net.num_nodes(), 0), applied_(net.num_nodes(), 0),
         buf_(net.num_nodes()),
-        erb_(mux_.lane_a(), self,
-             [this](ProcessId origin, std::uint64_t seq, const FastCmd& c) {
-               on_fast_deliver(origin, seq, c);
+        erb_(mux_.template lane<0>(), self,
+             [this](ProcessId origin, std::uint64_t seq, const FastBatch& b) {
+               on_fast_deliver(origin, seq, b);
              }),
-        tob_(mux_.lane_b(), self,
+        tob_(mux_.template lane<1>(), self,
              [this](std::uint64_t slot, ProcessId origin,
                     std::uint64_t nonce, const SlowCmd& c) {
                on_slow_commit(slot, origin, nonce, c);
              },
-             retry_delay) {}
+             retry_delay),
+        relay_(mux_.template lane<2>(), self, [this] { try_apply(); }) {
+    TS_EXPECTS(cfg_.erb_batch >= 1);
+  }
 
   HybridReplicaNode(const HybridReplicaNode&) = delete;
   HybridReplicaNode& operator=(const HybridReplicaNode&) = delete;
@@ -145,24 +215,37 @@ class HybridReplicaNode {
   /// stream (objects/sync_class.h).
   void submit(ProcessId caller, Op op) {
     core_.note_submission();
-    const bool fast = !force_consensus_ && caller == self_ &&
+    const bool fast = !cfg_.force_consensus && caller == self_ &&
                       SyncTraits<S>::classify(caller, op) == SyncClass::kFast;
     if (fast) {
-      // ERB delivers our own broadcast SYNCHRONOUSLY inside broadcast()
-      // (store-and-forward delivers locally before returning), so the
-      // latency window must open before the call — on_fast_deliver
-      // closes it at local delivery, recording the fast lane's zero
-      // commit wait.  Our next sequence number is our broadcast count.
-      const std::uint64_t seq = fast_submitted_++;
-      core_.start_latency(fast_key(seq), net_.now());
-      const std::uint64_t sent =
-          erb_.broadcast(FastCmd{caller, std::move(op)});
-      TS_ASSERT(sent == seq);
+      // The op's latency window opens now; it closes when its BATCH is
+      // delivered locally (the fast lane's commit point) — so the cut
+      // wait is part of the measured cost of batching.
+      core_.start_latency(fast_key(fast_ops_submitted_++), net_.now());
+      fast_buf_.push_back(std::move(op));
+      if (fast_buf_.size() >= cfg_.erb_batch) {
+        flush_fast();
+      } else if (!fast_timer_armed_) {
+        // Deadline cut: one-shot, armed when the buffer becomes
+        // non-empty.  A size cut may empty the buffer first — then the
+        // tick finds nothing and broadcasts nothing.
+        fast_timer_armed_ = true;
+        net_.call_at(self_, cfg_.erb_deadline, [this] {
+          fast_timer_armed_ = false;
+          if (!fast_buf_.empty()) flush_fast();
+        });
+      }
     } else {
       SlowCmd c;
       c.caller = caller;
-      c.op = std::move(op);
       c.frontier = delivered_;
+      if (cfg_.relay_mode == RelayMode::kCompact) {
+        c.compact = true;
+        c.id = make_op_id(self_, slow_proposed_++);
+        relay_.announce({TaggedOp<BatchOp>{c.id, BatchOp{caller, op}}});
+      } else {
+        c.op = std::move(op);
+      }
       const std::uint64_t nonce = tob_.broadcast(std::move(c));
       core_.start_latency(slow_key(nonce), net_.now());
     }
@@ -199,12 +282,13 @@ class HybridReplicaNode {
     return core_.commit_latencies();
   }
   /// Every submission of THIS replica reached its commit point here:
-  /// slow-lane payloads all decided and applied (no parked barrier), and
-  /// every own fast op applied (which implies finalize() ran if any fast
-  /// op was submitted).
+  /// slow-lane payloads all decided and applied (no parked barrier —
+  /// which also certifies every compact payload was recovered), no fast
+  /// op still waiting for its cut, and every own fast batch applied
+  /// (which implies finalize() ran if any fast op was submitted).
   bool all_settled() const noexcept {
     return tob_.all_settled() && barrier_queue_.empty() &&
-           applied_[self_] == fast_submitted_;
+           fast_buf_.empty() && applied_[self_] == fast_batches_submitted_;
   }
 
   // --- lane accounting ---
@@ -214,7 +298,22 @@ class HybridReplicaNode {
   std::size_t consensus_slots() const noexcept { return slots_committed_; }
   /// Fast-lane ops applied here (inside barrier epochs + terminal epoch).
   std::size_t fast_lane_ops() const noexcept { return fast_lane_ops_; }
-  std::size_t fast_submitted() const noexcept { return fast_submitted_; }
+  std::size_t fast_submitted() const noexcept { return fast_ops_submitted_; }
+  /// Fast batches this replica broadcast (ops / batches = the achieved
+  /// amortization the E19 sweep reports).
+  std::size_t fast_batches() const noexcept { return fast_batches_submitted_; }
+
+  // --- relay accounting / test hooks ---
+
+  RelayMode relay_mode() const noexcept { return cfg_.relay_mode; }
+  const Relay& relay() const noexcept { return relay_; }
+  /// Consensus-value bytes of the slots committed here.
+  std::uint64_t proposal_bytes() const noexcept { return proposal_bytes_; }
+  /// Test hook: suppress relay announcements so every peer's barrier
+  /// must recover its payload through kGetOps.
+  void set_announce_enabled(bool enabled) {
+    relay_.set_announce_enabled(enabled);
+  }
 
  private:
   using Blk = Block<S>;
@@ -226,17 +325,36 @@ class HybridReplicaNode {
     SlowCmd cmd;
   };
 
-  // Latency keys, lane-tagged so ERB sequence numbers and TOB nonces
-  // cannot collide in the shared ReplicaCore map.
-  static std::uint64_t fast_key(std::uint64_t seq) { return seq * 2 + 1; }
+  // Latency keys, lane-tagged so fast-op indices and TOB nonces cannot
+  // collide in the shared ReplicaCore map.
+  static std::uint64_t fast_key(std::uint64_t i) { return i * 2 + 1; }
   static std::uint64_t slow_key(std::uint64_t nonce) { return nonce * 2; }
 
+  /// Size/deadline cut: broadcast the buffered run as one FastBatch.
+  /// ERB delivers our own broadcast SYNCHRONOUSLY inside broadcast()
+  /// (store-and-forward delivers locally before returning), so the
+  /// buffered ops' latency windows — opened at submit — close inside
+  /// this call for the local copy.
+  void flush_fast() {
+    FastBatch b;
+    b.caller = self_;
+    b.ops = std::move(fast_buf_);
+    fast_buf_.clear();
+    const std::uint64_t seq = erb_.broadcast(std::move(b));
+    TS_ASSERT(seq == fast_batches_submitted_ - 1);  // delivered in-call
+  }
+
   void on_fast_deliver(ProcessId origin, std::uint64_t seq,
-                       const FastCmd& c) {
+                       const FastBatch& b) {
     TS_ASSERT(seq == delivered_[origin]);  // ERB per-sender FIFO
     ++delivered_[origin];
-    buf_[origin].push_back(c);
-    if (origin == self_) core_.finish_latency(fast_key(seq), net_.now());
+    if (origin == self_) {
+      ++fast_batches_submitted_;
+      for (std::size_t i = 0; i < b.ops.size(); ++i) {
+        core_.finish_latency(fast_key(fast_ops_finished_++), net_.now());
+      }
+    }
+    buf_[origin].push_back(b);
     try_apply();  // a parked barrier may now have its frontier
   }
 
@@ -248,18 +366,31 @@ class HybridReplicaNode {
   }
 
   /// Applies every head barrier whose frontier the ERB streams have
-  /// reached, in slot order (TotalOrderBcast delivers contiguously, and
-  /// a parked head blocks everything behind it — total order is
-  /// preserved through the merge).
+  /// reached AND whose payload is at hand, in slot order (TotalOrderBcast
+  /// delivers contiguously, and a parked head blocks everything behind
+  /// it — total order is preserved through the merge).
   void try_apply() {
     while (!barrier_queue_.empty()) {
       const PendingBarrier& head = barrier_queue_.front();
       for (ProcessId o = 0; o < delivered_.size(); ++o) {
-        if (delivered_[o] < head.cmd.frontier[o]) return;  // park
+        if (delivered_[o] < head.cmd.frontier[o]) return;  // park: frontier
+      }
+      const BatchOp* slow_op = nullptr;
+      if (head.cmd.compact) {
+        slow_op = relay_.find(head.cmd.id);
+        if (!slow_op) {  // park: payload in flight (recover-on-miss)
+          relay_.fetch(head.cmd.id, head.origin, {head.cmd.id},
+                       {head.cmd.id});
+          return;
+        }
       }
       Blk blk = cut_epoch(head.cmd.frontier);
       fast_lane_ops_ += blk.size();
-      blk.ops.push_back(BatchOp{head.cmd.caller, head.cmd.op});
+      blk.ops.push_back(head.cmd.compact
+                            ? *slow_op
+                            : BatchOp{head.cmd.caller, head.cmd.op});
+      if (head.cmd.compact) relay_.cancel(head.cmd.id);
+      proposal_bytes_ += wire_size_of(head.cmd);
       core_.append(head.slot, head.origin, net_.now(),
                    engine_->apply(blk));
       ++slots_committed_;
@@ -270,17 +401,20 @@ class HybridReplicaNode {
     }
   }
 
-  /// Drains the fast buffers up to `frontier` (per origin; a frontier
-  /// older than what a previous barrier already consumed drains nothing
-  /// — epochs only move forward) in canonical (origin, seq) order.
+  /// Drains the fast buffers up to `frontier` (per origin, in BATCHES; a
+  /// frontier older than what a previous barrier already consumed drains
+  /// nothing — epochs only move forward) in canonical (origin, seq)
+  /// order, unrolling each batch's ops in submission order.
   Blk cut_epoch(const std::vector<std::uint64_t>& frontier) {
     Blk blk;
     for (ProcessId o = 0; o < buf_.size(); ++o) {
       const std::uint64_t upto =
           std::min<std::uint64_t>(frontier[o], delivered_[o]);
       while (applied_[o] < upto) {
-        FastCmd& c = buf_[o].front();
-        blk.ops.push_back(BatchOp{c.caller, std::move(c.op)});
+        FastBatch& b = buf_[o].front();
+        for (Op& op : b.ops) {
+          blk.ops.push_back(BatchOp{b.caller, std::move(op)});
+        }
         buf_[o].pop_front();
         ++applied_[o];
       }
@@ -290,19 +424,26 @@ class HybridReplicaNode {
 
   Net& net_;
   ProcessId self_;
-  bool force_consensus_;
+  HybridConfig cfg_;
   Mux mux_;
   std::unique_ptr<ReplayEngine<S>> engine_;  // pinned (replay_engine.h)
-  std::vector<std::uint64_t> delivered_;  ///< per-origin ERB frontier
-  std::vector<std::uint64_t> applied_;    ///< per-origin merge cursor
-  std::vector<std::deque<FastCmd>> buf_;  ///< delivered, unapplied
+  std::vector<std::uint64_t> delivered_;  ///< per-origin ERB frontier (batches)
+  std::vector<std::uint64_t> applied_;    ///< per-origin merge cursor (batches)
+  std::vector<std::deque<FastBatch>> buf_;  ///< delivered, unapplied
   Erb erb_;
   Tob tob_;
+  Relay relay_;
   std::deque<PendingBarrier> barrier_queue_;
   ReplicaCore core_;
-  std::size_t fast_submitted_ = 0;
+  std::vector<Op> fast_buf_;  ///< own fast ops awaiting their cut
+  bool fast_timer_armed_ = false;
+  std::size_t fast_ops_submitted_ = 0;
+  std::size_t fast_ops_finished_ = 0;
+  std::size_t fast_batches_submitted_ = 0;
   std::size_t fast_lane_ops_ = 0;
   std::size_t slots_committed_ = 0;
+  std::uint64_t slow_proposed_ = 0;
+  std::uint64_t proposal_bytes_ = 0;
 };
 
 }  // namespace tokensync

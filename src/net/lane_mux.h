@@ -1,60 +1,69 @@
-// Lane multiplexing — two broadcast protocols on ONE simulated network.
+// Lane multiplexing — several broadcast protocols on ONE simulated
+// network.
 //
 // The synchronization-tiered replica (net/hybrid_replica.h) runs the
-// eager reliable broadcast (bcast/erb.h, the CN = 1 fast lane) and the
+// eager reliable broadcast (bcast/erb.h, the CN = 1 fast lane), the
 // Paxos-backed total-order broadcast (atbcast/total_order.h, the CN > 1
-// consensus lane) side by side on the same cluster.  SimNet carries ONE
-// wire-message type and ONE handler/timer-handler per node, so the two
-// protocol engines cannot both register directly.  This header supplies
+// consensus lane) and — under compact relay (net/compact_relay.h) — the
+// op recovery lane side by side on the same cluster.  SimNet carries ONE
+// wire-message type and ONE handler/timer-handler per node, so the
+// protocol engines cannot all register directly.  This header supplies
 // the multiplexer:
 //
-//   * LaneMsg<A, B> — the variant wire type: every message on the shared
-//     network is either lane A's or lane B's message;
+//   * LaneMsg<Ls...> — the variant wire type: every message on the
+//     shared network is exactly one lane's message;
 //   * LaneNet<Sub, Base> — the per-node facade each engine binds to.  It
 //     presents exactly the SimNet surface the engines use (send,
 //     send_all, set_handler, set_timer, set_timer_handler, num_nodes,
 //     now, is_crashed), wrapping outgoing messages into the variant and
-//     tagging timers so both lanes can arm them independently;
-//   * LaneMux<A, B, Base> — owns the two facades for one node and
-//     installs the real SimNet handler/timer-handler that dispatches on
-//     the variant alternative / the timer tag.
+//     tagging timers so all lanes can arm them independently.  A lane
+//     whose message type is auxiliary-class (is_aux_wire, common/wire.h)
+//     arms its timers through set_timer_aux, keeping relay timers out of
+//     the primary tie-break sequence;
+//   * LaneMux<Ls...> — owns the lane facades for one node and installs
+//     the real SimNet handler/timer-handler that dispatches on the
+//     variant alternative / the timer tag.
 //
-// Timer tagging: lane timers are registered on the base net with
-// id * 2 + lane (lane 0 = A, lane 1 = B), and dispatched back with the
-// original id.  Both engines use small ids (ERB uses 0, Paxos uses the
-// slot number), so the doubling cannot overflow in any realistic run.
+// Timer tagging: lane i's timers are registered on the base net with
+// id * N + i (N = number of lanes) and dispatched back with the original
+// id.  The engines use small ids (ERB uses 0, Paxos uses the slot
+// number), so the multiplication cannot overflow in any realistic run.
 //
 // Fault semantics are untouched: drops, duplication, partitions and
-// crashes happen on the BASE net, so both lanes see the same network
+// crashes happen on the BASE net, so all lanes see the same network
 // weather — exactly what the hybrid runtime's fault matrix needs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <tuple>
 #include <utility>
 #include <variant>
 
 #include "common/ids.h"
+#include "common/wire.h"
 #include "net/simnet.h"
 
 namespace tokensync {
 
-/// The multiplexed wire type.  Default-constructs to lane A's message
-/// (SimNet events require a default), which is harmless: defaulted
-/// messages never travel.
-template <typename A, typename B>
-using LaneMsg = std::variant<A, B>;
+/// The multiplexed wire type.  Default-constructs to the first lane's
+/// message (SimNet events require a default), which is harmless:
+/// defaulted messages never travel.
+template <typename... Ls>
+using LaneMsg = std::variant<Ls...>;
 
 /// Per-node, per-lane facade over the shared base net.  `lane` is this
-/// facade's tag (0 or 1) — it selects the variant alternative on send
-/// and the timer-id parity on set_timer.
+/// facade's tag (0-based) — it selects the variant alternative on send
+/// and the timer-id residue (mod `num_lanes`) on set_timer.
 template <typename Sub, typename Base>
 class LaneNet {
  public:
   using Handler = std::function<void(ProcessId from, const Sub&)>;
   using TimerHandler = std::function<void(std::uint64_t timer_id)>;
 
-  LaneNet(Base& base, std::uint8_t lane) : base_(base), lane_(lane) {}
+  LaneNet(Base& base, std::uint8_t lane, std::uint8_t num_lanes)
+      : base_(base), lane_(lane), num_lanes_(num_lanes) {}
 
   std::size_t num_nodes() const noexcept { return base_.num_nodes(); }
   std::uint64_t now() const noexcept { return base_.now(); }
@@ -68,7 +77,12 @@ class LaneNet {
   }
   void set_timer(ProcessId node, std::uint64_t delay,
                  std::uint64_t timer_id) {
-    base_.set_timer(node, delay, timer_id * 2 + lane_);
+    const std::uint64_t tagged = timer_id * num_lanes_ + lane_;
+    if constexpr (is_aux_wire_v<Sub>) {
+      base_.set_timer_aux(node, delay, tagged);
+    } else {
+      base_.set_timer(node, delay, tagged);
+    }
   }
 
   /// The engines register through these exactly as they would on a
@@ -94,49 +108,74 @@ class LaneNet {
 
   Base& base_;
   std::uint8_t lane_;
+  std::uint8_t num_lanes_;
   Handler handler_;
   TimerHandler timer_handler_;
 };
 
-/// One node's pair of lane facades plus the base-net dispatch glue.
+/// One node's set of lane facades plus the base-net dispatch glue.
 /// Construct it BEFORE the protocol engines (they bind to the facades),
 /// and keep it alive as long as they are (the facades hold their
 /// handlers).
-template <typename A, typename B>
+template <typename... Ls>
 class LaneMux {
  public:
-  using Msg = LaneMsg<A, B>;
+  static constexpr std::size_t kLanes = sizeof...(Ls);
+  static_assert(kLanes >= 2, "a mux needs at least two lanes");
+
+  using Msg = LaneMsg<Ls...>;
   using Net = SimNet<Msg>;
-  using NetA = LaneNet<A, Net>;
-  using NetB = LaneNet<B, Net>;
+  template <std::size_t I>
+  using LaneT = LaneNet<std::variant_alternative_t<I, Msg>, Net>;
+  using NetA = LaneT<0>;
+  using NetB = LaneT<1>;
 
   LaneMux(Net& net, ProcessId self)
-      : a_(net, 0), b_(net, 1) {
+      : lanes_(make_lanes(net, std::index_sequence_for<Ls...>{})) {
     net.set_handler(self, [this](ProcessId from, const Msg& m) {
-      if (std::holds_alternative<A>(m)) {
-        a_.dispatch(from, std::get<A>(m));
-      } else {
-        b_.dispatch(from, std::get<B>(m));
-      }
+      dispatch_msg(from, m, std::index_sequence_for<Ls...>{});
     });
     net.set_timer_handler(self, [this](std::uint64_t id) {
-      if (id % 2 == 0) {
-        a_.dispatch_timer(id / 2);
-      } else {
-        b_.dispatch_timer(id / 2);
-      }
+      dispatch_timer(id, std::index_sequence_for<Ls...>{});
     });
   }
 
   LaneMux(const LaneMux&) = delete;
   LaneMux& operator=(const LaneMux&) = delete;
 
-  NetA& lane_a() noexcept { return a_; }
-  NetB& lane_b() noexcept { return b_; }
+  template <std::size_t I>
+  LaneT<I>& lane() noexcept {
+    return std::get<I>(lanes_);
+  }
+  NetA& lane_a() noexcept { return std::get<0>(lanes_); }
+  NetB& lane_b() noexcept { return std::get<1>(lanes_); }
 
  private:
-  NetA a_;
-  NetB b_;
+  template <std::size_t... Is>
+  static std::tuple<LaneNet<Ls, Net>...> make_lanes(
+      Net& net, std::index_sequence<Is...>) {
+    return std::tuple<LaneNet<Ls, Net>...>{LaneNet<Ls, Net>(
+        net, static_cast<std::uint8_t>(Is),
+        static_cast<std::uint8_t>(kLanes))...};
+  }
+
+  template <std::size_t... Is>
+  void dispatch_msg(ProcessId from, const Msg& m,
+                    std::index_sequence<Is...>) {
+    ((m.index() == Is
+          ? std::get<Is>(lanes_).dispatch(from, *std::get_if<Is>(&m))
+          : void(0)),
+     ...);
+  }
+
+  template <std::size_t... Is>
+  void dispatch_timer(std::uint64_t id, std::index_sequence<Is...>) {
+    ((id % kLanes == Is ? std::get<Is>(lanes_).dispatch_timer(id / kLanes)
+                        : void(0)),
+     ...);
+  }
+
+  std::tuple<LaneNet<Ls, Net>...> lanes_;
 };
 
 }  // namespace tokensync

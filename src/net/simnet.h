@@ -50,6 +50,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/wire.h"
 
 namespace tokensync {
 
@@ -66,11 +67,17 @@ struct NetConfig {
 };
 
 /// Network statistics (benchmarks and scenario reports include these).
+/// Byte counters follow the wire-size model of common/wire.h: bytes_sent
+/// mirrors `sent` (every send pays its bytes, dropped or not — the bytes
+/// left the sender's NIC), bytes_delivered mirrors `delivered` (a
+/// duplicated message is paid for on each delivery).
 struct NetStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;     ///< loss + partition + crashed receiver
   std::uint64_t duplicated = 0;  ///< extra copies injected
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
 };
 
 template <typename Msg>
@@ -86,8 +93,9 @@ class SimNet {
                                         std::uint64_t now)>;
 
   SimNet(std::size_t n, NetConfig cfg)
-      : cfg_(cfg), rng_(cfg.seed), handlers_(n), timer_handlers_(n),
-        crashed_(n, false) {}
+      : cfg_(cfg), rng_(cfg.seed),
+        aux_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ull), handlers_(n),
+        timer_handlers_(n), crashed_(n, false) {}
 
   std::size_t num_nodes() const noexcept { return handlers_.size(); }
   std::uint64_t now() const noexcept { return now_; }
@@ -145,6 +153,7 @@ class SimNet {
     TS_EXPECTS(from < num_nodes() && to < num_nodes());
     if (crashed_[from]) return;
     ++stats_.sent;
+    stats_.bytes_sent += wire_size_of(m);
     if (!link_up(from, to)) {
       ++stats_.dropped;
       return;
@@ -153,19 +162,26 @@ class SimNet {
       ++stats_.dropped;
       return;
     }
-    if (cfg_.drop_num > 0 && rng_.chance(cfg_.drop_num, cfg_.drop_den)) {
+    // Auxiliary-class traffic (relay recovery, see common/wire.h) draws
+    // its loss/duplication/delay randomness from the second Rng stream:
+    // primary-lane messages see the exact same draw sequence whether or
+    // not aux traffic exists, which is what keeps committed histories
+    // byte-identical between full and compact relay modes.
+    const bool aux = is_aux_msg(m);
+    Rng& rng = aux ? aux_rng_ : rng_;
+    if (cfg_.drop_num > 0 && rng.chance(cfg_.drop_num, cfg_.drop_den)) {
       ++stats_.dropped;
       return;
     }
     const bool duplicate =
-        cfg_.dup_num > 0 && rng_.chance(cfg_.dup_num, cfg_.dup_den);
+        cfg_.dup_num > 0 && rng.chance(cfg_.dup_num, cfg_.dup_den);
     if (!duplicate) {
-      push_message(from, to, std::move(m));
+      push_message(from, to, std::move(m), aux);
       return;
     }
     ++stats_.duplicated;
-    push_message(from, to, m);
-    push_message(from, to, std::move(m));
+    push_message(from, to, m, aux);
+    push_message(from, to, std::move(m), aux);
   }
 
   /// Sends m to every node (including the sender).
@@ -177,8 +193,17 @@ class SimNet {
   /// node's timer handler with `timer_id` (legacy protocol-engine path).
   void set_timer(ProcessId node, std::uint64_t delay,
                  std::uint64_t timer_id) {
-    events_.push(Event{now_ + delay, next_tie_++, Event::kTimer, node, node,
-                       Msg{}, timer_id, {}});
+    events_.push(Event{now_ + delay, next_tie(false), Event::kTimer, node,
+                       node, Msg{}, timer_id, {}});
+  }
+
+  /// set_timer for auxiliary-class protocol engines (relay recovery):
+  /// identical semantics, but the event draws its tie-break from the aux
+  /// sequence so arming/cancelling it cannot reorder primary events.
+  void set_timer_aux(ProcessId node, std::uint64_t delay,
+                     std::uint64_t timer_id) {
+    events_.push(Event{now_ + delay, next_tie(true), Event::kTimer, node,
+                       node, Msg{}, timer_id, {}});
   }
 
   /// Schedules fn at now + delay on `node`; silently dropped if the node
@@ -187,14 +212,14 @@ class SimNet {
   /// node without sharing the timer handler.
   void call_at(ProcessId node, std::uint64_t delay, Callback fn) {
     TS_EXPECTS(node < num_nodes());
-    events_.push(Event{now_ + delay, next_tie_++, Event::kCall, node, node,
-                       Msg{}, 0, std::move(fn)});
+    events_.push(Event{now_ + delay, next_tie(false), Event::kCall, node,
+                       node, Msg{}, 0, std::move(fn)});
   }
 
   /// Schedules a net-level control action at now + delay — runs
   /// unconditionally (fault schedules: partitions, crashes, heals).
   void schedule(std::uint64_t delay, Callback fn) {
-    events_.push(Event{now_ + delay, next_tie_++, Event::kControl, 0, 0,
+    events_.push(Event{now_ + delay, next_tie(false), Event::kControl, 0, 0,
                        Msg{}, 0, std::move(fn)});
   }
 
@@ -224,6 +249,7 @@ class SimNet {
           return true;
         }
         ++stats_.delivered;
+        stats_.bytes_delivered += wire_size_of(e.msg);
         if (handlers_[e.to]) handlers_[e.to](e.from, e.msg);
         return true;
     }
@@ -260,7 +286,7 @@ class SimNet {
     }
   };
 
-  void push_message(ProcessId from, ProcessId to, Msg m) {
+  void push_message(ProcessId from, ProcessId to, Msg m, bool aux) {
     std::uint64_t lo = cfg_.min_delay, hi = cfg_.max_delay;
     if (!link_delay_.empty()) {
       if (const auto it = link_delay_.find({from, to});
@@ -269,15 +295,24 @@ class SimNet {
         hi = it->second.second;
       }
     }
-    const std::uint64_t delay = rng_.range(lo, hi);
-    events_.push(Event{now_ + delay, next_tie_++, Event::kMsg, from, to,
+    const std::uint64_t delay = (aux ? aux_rng_ : rng_).range(lo, hi);
+    events_.push(Event{now_ + delay, next_tie(aux), Event::kMsg, from, to,
                        std::move(m), 0, {}});
+  }
+
+  /// Two disjoint tie-break sequences (primary even, aux odd): the
+  /// relative order of equal-time PRIMARY events is a pure function of
+  /// primary activity alone, so aux traffic cannot reorder them.
+  std::uint64_t next_tie(bool aux) {
+    return aux ? (aux_tie_++ * 2 + 1) : (pri_tie_++ * 2);
   }
 
   NetConfig cfg_;
   Rng rng_;
+  Rng aux_rng_;
   std::uint64_t now_ = 0;
-  std::uint64_t next_tie_ = 0;
+  std::uint64_t pri_tie_ = 0;
+  std::uint64_t aux_tie_ = 0;
   std::vector<Handler> handlers_;
   std::vector<TimerHandler> timer_handlers_;
   std::vector<bool> crashed_;

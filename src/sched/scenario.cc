@@ -681,7 +681,8 @@ class BlockHarness {
     bcfg.pipeline_window = cfg.block_window;
     for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
       nodes_.push_back(std::make_unique<Node>(
-          net_, p, initial, bcfg, ExecOptions{.threads = cfg.replay_threads}));
+          net_, p, initial, bcfg, ExecOptions{.threads = cfg.replay_threads},
+          cfg.relay_mode));
     }
   }
 
@@ -714,6 +715,10 @@ class BlockHarness {
     ScenarioReport rep = cluster_report(cfg_, net_, nodes_, correct_,
                                         nodes_[ref]->ops_committed());
     rep.slots = nodes_[ref]->blocks_committed();
+    rep.proposal_bytes = nodes_[ref]->proposal_bytes();
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (correct_[p]) rep.miss_recoveries += nodes_[p]->relay().miss_recoveries();
+    }
     audit_conservation(rep, nodes_, [&conserve](const Node& n) {
       return conserve(n.engine().ledger().snapshot());
     });
@@ -857,10 +862,14 @@ class HybridHarness {
         net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
         correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
     arm_fault_schedule(net_, cfg.fault);
+    HybridConfig hcfg;
+    hcfg.relay_mode = cfg.relay_mode;
+    hcfg.erb_batch = cfg.erb_batch;
+    hcfg.force_consensus = cfg.hybrid_force_consensus;
     for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
       nodes_.push_back(std::make_unique<Node>(
           net_, p, initial, ExecOptions{.threads = cfg.replay_threads},
-          cfg.hybrid_force_consensus));
+          hcfg));
     }
   }
 
@@ -886,6 +895,10 @@ class HybridHarness {
                        nodes_[ref]->engine().ops_applied());
     rep.slots = nodes_[ref]->consensus_slots();
     rep.fast_lane_ops = nodes_[ref]->fast_lane_ops();
+    rep.proposal_bytes = nodes_[ref]->proposal_bytes();
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (correct_[p]) rep.miss_recoveries += nodes_[p]->relay().miss_recoveries();
+    }
     audit_conservation(rep, nodes_, [&conserve](const Node& n) {
       return conserve(n.engine().ledger().snapshot());
     });

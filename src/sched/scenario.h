@@ -34,6 +34,7 @@
 
 #include "common/error.h"
 #include "common/ids.h"
+#include "net/compact_relay.h"
 #include "net/replica.h"
 #include "net/simnet.h"
 #include "objects/token_race.h"
@@ -120,6 +121,18 @@ struct ScenarioConfig {
   /// lane (SyncTraits ignored) — the all-Paxos baseline the hybrid
   /// benchmarks measure the lane split against (net/hybrid_replica.h).
   bool hybrid_force_consensus = false;
+
+  /// Block-pipeline and hybrid workloads: how consensus values travel —
+  /// full payloads (the baseline) or op-ID references with
+  /// recover-on-miss (net/compact_relay.h).  The committed history is
+  /// INVARIANT to this knob (the ISSUE 6 acceptance criterion); only the
+  /// bytes on the wire change.
+  RelayMode relay_mode = RelayMode::kFull;
+  /// Hybrid workloads: ERB fast-lane batch size — same-origin fast ops
+  /// per broadcast (size cut; the block_deadline-style deadline cut is
+  /// fixed inside the hybrid runtime).  History-invariant like
+  /// relay_mode; amortizes the per-broadcast header + signature bytes.
+  std::size_t erb_batch = 1;
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
@@ -168,6 +181,14 @@ struct ScenarioReport {
   double commits_per_ktime = 0;
   LatencySummary latency;
   NetStats net;
+  /// Consensus-value bytes behind the reference replica's committed
+  /// slots (block + hybrid consensus lanes; 0 elsewhere).  With
+  /// relay_mode = kCompact this shrinks while `slots` and the history
+  /// stay fixed — the per-slot proposal-bytes drop E18 measures.
+  std::uint64_t proposal_bytes = 0;
+  /// Compact relay only: blocks/commands that entered the kGetOps
+  /// recover-on-miss round-trip, summed over correct replicas.
+  std::uint64_t miss_recoveries = 0;
 
   bool agreement = false;
   bool conservation = false;
