@@ -60,15 +60,18 @@ def rows_for(path):
         # consensus-slot amortization of the replicated sweep), the
         # lane-split counters (bench_hybrid_lanes: consensus slots vs
         # fast-lane commits vs the all-Paxos baseline's message bill),
-        # and the wire-size counters (every SimNet bench via
+        # the wire-size counters (every SimNet bench via
         # export_net_counters, plus bench_compact_relay's consensus-value
-        # bytes and kGetOps recovery count).
+        # bytes and kGetOps recovery count), and the recovery counters
+        # (bench_recovery: snapshot/prune/catch-up accounting).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
                     "commits_per_ktime", "consensus_slots",
                     "fast_lane_commits", "fast_share", "msgs_sent",
                     "bytes_sent", "bytes_delivered", "proposal_bytes",
-                    "bytes_per_slot", "miss_recoveries"):
+                    "bytes_per_slot", "miss_recoveries",
+                    "snapshot_bytes", "catchup_ops", "pruned_slots",
+                    "retained_log_bytes"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

@@ -105,7 +105,9 @@ class TotalOrderBcast {
   TotalOrderBcast(Net& net, ProcessId self, Deliver deliver,
                   std::uint64_t retry_delay = 40, std::size_t window = 1)
       : net_(net), self_(self), deliver_(std::move(deliver)),
-        window_(window == 0 ? 1 : window), everyone_(net.num_nodes()) {
+        window_(window == 0 ? 1 : window), everyone_(net.num_nodes()),
+        origin_frontier_(net.num_nodes(), 0),
+        nonce_floor_(net.num_nodes(), 0) {
     for (ProcessId p = 0; p < everyone_.size(); ++p) everyone_[p] = p;
     paxos_ = std::make_unique<PaxosEngine<Cmd, Net>>(
         net, self, [this](InstanceId) { return std::optional(everyone_); },
@@ -134,6 +136,72 @@ class TotalOrderBcast {
 
   /// True iff every payload this node broadcast has been delivered here.
   bool all_settled() const noexcept { return pending_.empty(); }
+
+  // --- recovery interface (DESIGN.md §13) ---
+
+  /// Highest nonce delivered per origin.  Under window == 1 per-origin
+  /// nonces deliver contiguously (an origin proposes nonce i+1 only after
+  /// delivering nonce i), so this vector is an EXACT description of the
+  /// (origin, nonce) pairs the delivered prefix covers — which is what
+  /// lets a snapshot replace the unbounded `seen_` dedup set with n
+  /// integers.  Recovery therefore requires window == 1 (the default;
+  /// the block pipeline's windows ride one nonce per BLOCK and stay
+  /// contiguous too because the block replica keeps window at its
+  /// configured constant from slot 0).
+  const std::vector<std::uint64_t>& origin_frontiers() const noexcept {
+    return origin_frontier_;
+  }
+
+  /// Snapshot install: jump the delivery frontier to `slot` and adopt the
+  /// snapshot's per-origin nonce frontiers as the dedup floor.  Commands
+  /// at slots below `slot` are covered by the snapshot and will never be
+  /// delivered here; a command with nonce <= floor[origin] landing in a
+  /// LATER slot (the adoption-race duplicate) is suppressed exactly as
+  /// `seen_` would have.  Ends with a frontier query + pump so catch-up
+  /// of the log suffix starts immediately.
+  void advance_to(std::uint64_t slot,
+                  const std::vector<std::uint64_t>& nonce_floor) {
+    TS_EXPECTS(nonce_floor.size() == nonce_floor_.size());
+    TS_EXPECTS(slot >= next_deliver_);
+    next_deliver_ = slot;
+    for (ProcessId o = 0; o < nonce_floor_.size(); ++o) {
+      nonce_floor_[o] = std::max(nonce_floor_[o], nonce_floor[o]);
+      origin_frontier_[o] = std::max(origin_frontier_[o], nonce_floor[o]);
+    }
+    decided_.erase(decided_.begin(), decided_.lower_bound(slot));
+    deliver_ready();  // decisions may already have arrived for >= slot
+    paxos_->query_all(next_deliver_);
+    pump();
+  }
+
+  /// Log truncation: forget decided slots below `slot` and refuse to
+  /// serve them (PaxosEngine::set_floor answers queries with kPruned).
+  /// Only call with `slot` <= the lowest snapshot mark of any correct
+  /// replica — then no live replica ever queries below the floor, and a
+  /// kPruned redirect can only reach a rejoiner, whose recovery path
+  /// fetches a snapshot instead.
+  void truncate_below(std::uint64_t slot) {
+    const auto end = decided_.lower_bound(slot);
+    for (auto it = decided_.begin(); it != end; ++it) ++pruned_slots_;
+    decided_.erase(decided_.begin(), end);
+    paxos_->set_floor(slot);
+  }
+
+  /// Forwarded to the Paxos engine: fires when a peer redirects one of
+  /// our queries below its log floor ("fetch a snapshot instead").
+  void set_on_pruned(std::function<void(InstanceId)> h) {
+    paxos_->set_on_pruned(std::move(h));
+  }
+
+  /// Decided slots still held (the retained log) and their value bytes.
+  std::size_t retained_slots() const noexcept { return decided_.size(); }
+  std::uint64_t retained_log_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const auto& [slot, cmd] : decided_) bytes += wire_size_of(cmd);
+    return bytes;
+  }
+  /// Slots erased by truncate_below over this node's lifetime.
+  std::uint64_t pruned_slots() const noexcept { return pruned_slots_; }
 
  private:
   /// Proposes the `window_` oldest pending payloads at the lowest open
@@ -164,13 +232,32 @@ class TotalOrderBcast {
   void on_decide(std::uint64_t slot, const Cmd& c) {
     // A catch-up REPLY proves we were behind: continue the frontier walk.
     const bool caught_up = paxos_->last_decide_was_reply();
+    // Below the delivery frontier the decision is already covered — by
+    // delivery or (after advance_to) by an installed snapshot; storing it
+    // would only regrow pruned log.
+    if (slot < next_deliver_) return;
     decided_.emplace(slot, c);
     if (c.origin == self_) landed_.insert(c.nonce);
     // Gap repair: ask for every earlier slot we have no decision for.
     for (std::uint64_t s = next_deliver_; s < slot; ++s) {
       if (!decided_.contains(s)) paxos_->query_all(s);
     }
-    // Contiguous delivery with (origin, nonce) dedup.
+    deliver_ready();
+    // Frontier walk, gated on catch-up evidence: walk on when either a
+    // decided slot sits beyond the contiguous prefix (a hole must exist
+    // somewhere) or this decision reached us as a catch-up reply (we are
+    // chasing a tail of missed decisions, and only the walk can tell us
+    // where it ends).  An ordinary fault-free commit satisfies neither,
+    // so the fast path sends zero extra messages.
+    const bool gap =
+        !decided_.empty() && decided_.rbegin()->first >= next_deliver_;
+    if (gap || caught_up) paxos_->query_all(next_deliver_);
+    pump();
+  }
+
+  /// Contiguous delivery with (origin, nonce) dedup — both the classic
+  /// `seen_` set and the snapshot-installed per-origin nonce floors.
+  void deliver_ready() {
     while (true) {
       const auto it = decided_.find(next_deliver_);
       if (it == decided_.end()) break;
@@ -183,22 +270,14 @@ class TotalOrderBcast {
                        pending_.end());
         landed_.erase(cmd.nonce);
       }
-      if (cmd.nonce != 0 &&
+      if (cmd.nonce != 0 && cmd.nonce > nonce_floor_[cmd.origin] &&
           seen_.insert({cmd.origin, cmd.nonce}).second) {
+        origin_frontier_[cmd.origin] =
+            std::max(origin_frontier_[cmd.origin], cmd.nonce);
         deliver_(next_deliver_, cmd.origin, cmd.nonce, cmd.payload);
       }
       ++next_deliver_;
     }
-    // Frontier walk, gated on catch-up evidence: walk on when either a
-    // decided slot sits beyond the contiguous prefix (a hole must exist
-    // somewhere) or this decision reached us as a catch-up reply (we are
-    // chasing a tail of missed decisions, and only the walk can tell us
-    // where it ends).  An ordinary fault-free commit satisfies neither,
-    // so the fast path sends zero extra messages.
-    const bool gap =
-        !decided_.empty() && decided_.rbegin()->first >= next_deliver_;
-    if (gap || caught_up) paxos_->query_all(next_deliver_);
-    pump();
   }
 
   Net& net_;
@@ -212,6 +291,13 @@ class TotalOrderBcast {
   std::uint64_t next_deliver_ = 0;
   std::map<std::uint64_t, Cmd> decided_;
   std::set<std::pair<ProcessId, std::uint64_t>> seen_;
+  /// Highest nonce delivered per origin (exact under window == 1; see
+  /// origin_frontiers()).
+  std::vector<std::uint64_t> origin_frontier_;
+  /// Snapshot-installed dedup floor: nonces <= floor[origin] are covered
+  /// by the installed snapshot and must not deliver again.
+  std::vector<std::uint64_t> nonce_floor_;
+  std::uint64_t pruned_slots_ = 0;
   /// Our nonces decided in SOME slot but not yet delivered (parked
   /// behind a gap): pump() must not re-propose these.
   std::set<std::uint64_t> landed_;

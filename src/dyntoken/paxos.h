@@ -39,6 +39,7 @@ struct PaxosMsg {
     kNack,      // higher ballot seen (or not ready): retry later
     kDecide,    // learned decision, disseminated to everyone
     kQuery,     // learner catch-up: "answer kDecide if you decided this"
+    kPruned,    // "that instance is below my log floor: snapshot-fetch"
   };
 
   Type type = Type::kPrepare;
@@ -140,6 +141,29 @@ class PaxosEngine {
   }
   std::size_t decided_count() const noexcept { return decided_.size(); }
 
+  /// Log truncation (DESIGN.md §13): forget every instance below `floor`.
+  /// Decisions, acceptor promises and proposer state below the floor are
+  /// erased — safe because the caller only raises the floor to a slot
+  /// every replica has covered by a durable snapshot, so no correct node
+  /// will ever need those decisions again.  Queries for pruned instances
+  /// are answered with kPruned (a redirect to snapshot fetch), never with
+  /// silence — a rejoiner must not stall waiting for a reply that cannot
+  /// come.  Monotonic: a lower floor than the current one is a no-op.
+  void set_floor(InstanceId floor) {
+    if (floor <= floor_) return;
+    floor_ = floor;
+    decided_.erase(decided_.begin(), decided_.lower_bound(floor));
+    acceptors_.erase(acceptors_.begin(), acceptors_.lower_bound(floor));
+    proposers_.erase(proposers_.begin(), proposers_.lower_bound(floor));
+  }
+  InstanceId floor() const noexcept { return floor_; }
+
+  /// Handler for incoming kPruned redirects: "the peer has pruned this
+  /// instance — stop querying the log and fetch a snapshot instead."
+  void set_on_pruned(std::function<void(InstanceId)> h) {
+    on_pruned_ = std::move(h);
+  }
+
  private:
   struct Proposer {
     bool active = false;
@@ -214,6 +238,23 @@ class PaxosEngine {
 
   void on_message(ProcessId from, const PaxosMsg<Value>& m) {
     using T = typename PaxosMsg<Value>::Type;
+    if (m.type == T::kPruned) {
+      if (on_pruned_) on_pruned_(m.instance);
+      return;
+    }
+    // Below the log floor nothing is served from the log: the decision is
+    // covered by a snapshot every replica acked, so redirect the asker
+    // there (kPruned), and discard stale kDecides rather than regrow the
+    // pruned map.
+    if (m.instance < floor_) {
+      if (m.type != T::kDecide) {
+        PaxosMsg<Value> r;
+        r.type = T::kPruned;
+        r.instance = m.instance;
+        net_.send(self_, from, r);
+      }
+      return;
+    }
     // Catch-up: any traffic for an already-decided instance is answered
     // with the decision (heals dropped kDecide messages).
     if (m.type != T::kDecide) {
@@ -328,6 +369,9 @@ class PaxosEngine {
         // the catch-up branch above) — nothing to report.
         return;
 
+      case T::kPruned:
+        return;  // handled before the switch; unreachable
+
       case T::kDecide: {
         if (!decided_.contains(m.instance)) {
           decided_.emplace(m.instance, m.value);
@@ -366,6 +410,8 @@ class PaxosEngine {
   std::map<InstanceId, Proposer> proposers_;
   std::map<InstanceId, Acceptor> acceptors_;
   std::map<InstanceId, Value> decided_;
+  InstanceId floor_ = 0;  ///< instances below this are pruned (set_floor)
+  std::function<void(InstanceId)> on_pruned_;
   bool last_decide_was_reply_ = false;
 };
 

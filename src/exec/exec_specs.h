@@ -35,6 +35,7 @@
 #include "atomic/ledger_specs.h"
 #include "exec/conflict_planner.h"
 #include "exec/parallel_executor.h"
+#include "exec/snapshot.h"
 #include "exec/txpool.h"
 #include "objects/sync_class.h"
 
@@ -76,6 +77,81 @@ struct SyncTraits<Erc777LedgerSpec> {
 // Erc721LedgerSpec: intentionally NO SyncTraits specialization — the
 // conservative default (kConsensus for every op) is the correct
 // classification for ownership races (file comment).
+
+// --- StateCodec: snapshot byte encodings of the token family ----------
+//
+// All three states are dense n-indexed tables (every matrix is n x n
+// over num_accounts), so the codecs are shape-prefix + row-major cells
+// through the states' public accessors — no friend access, and decode
+// rebuilds through the same constructors the workloads use.
+
+template <>
+struct StateCodec<Erc20State> {
+  static void encode(ByteWriter& w, const Erc20State& q) {
+    const std::size_t n = q.num_accounts();
+    w.u64(n);
+    for (AccountId a = 0; a < n; ++a) w.u64(q.balance(a));
+    for (AccountId a = 0; a < n; ++a) {
+      for (ProcessId p = 0; p < n; ++p) w.u64(q.allowance(a, p));
+    }
+  }
+  static Erc20State decode(ByteReader& r) {
+    const std::size_t n = r.u64();
+    std::vector<Amount> balances(n);
+    for (auto& b : balances) b = r.u64();
+    std::vector<std::vector<Amount>> allowances(n, std::vector<Amount>(n));
+    for (auto& row : allowances) {
+      for (auto& v : row) v = r.u64();
+    }
+    return Erc20State(std::move(balances), std::move(allowances));
+  }
+};
+
+template <>
+struct StateCodec<Erc721State> {
+  static void encode(ByteWriter& w, const Erc721State& q) {
+    const std::size_t n = q.num_accounts();
+    w.u64(n);
+    w.u64(q.num_tokens());
+    for (TokenId t = 0; t < q.num_tokens(); ++t) w.u32(q.owner_of(t));
+    for (TokenId t = 0; t < q.num_tokens(); ++t) w.u32(q.approved(t));
+    for (AccountId a = 0; a < n; ++a) {
+      for (ProcessId p = 0; p < n; ++p) w.u8(q.is_operator(a, p) ? 1 : 0);
+    }
+  }
+  static Erc721State decode(ByteReader& r) {
+    const std::size_t n = r.u64();
+    std::vector<AccountId> owner_of(r.u64());
+    for (auto& o : owner_of) o = r.u32();
+    Erc721State q(n, std::move(owner_of));
+    for (TokenId t = 0; t < q.num_tokens(); ++t) q.set_approved(t, r.u32());
+    for (AccountId a = 0; a < n; ++a) {
+      for (ProcessId p = 0; p < n; ++p) q.set_operator(a, p, r.u8() != 0);
+    }
+    return q;
+  }
+};
+
+template <>
+struct StateCodec<Erc777State> {
+  static void encode(ByteWriter& w, const Erc777State& q) {
+    const std::size_t n = q.num_accounts();
+    w.u64(n);
+    for (AccountId a = 0; a < n; ++a) w.u64(q.balance(a));
+    for (AccountId a = 0; a < n; ++a) {
+      for (ProcessId p = 0; p < n; ++p) w.u8(q.is_operator(a, p) ? 1 : 0);
+    }
+  }
+  static Erc777State decode(ByteReader& r) {
+    const std::size_t n = r.u64();
+    Erc777State q(n, /*deployer=*/0, /*total_supply=*/0);
+    for (AccountId a = 0; a < n; ++a) q.set_balance(a, r.u64());
+    for (AccountId a = 0; a < n; ++a) {
+      for (ProcessId p = 0; p < n; ++p) q.set_operator(a, p, r.u8() != 0);
+    }
+    return q;
+  }
+};
 
 /// Ready-to-use executor pipelines of the token family.
 using Erc20Executor = ParallelExecutor<Erc20LedgerSpec>;

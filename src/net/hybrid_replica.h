@@ -107,6 +107,7 @@
 #include "common/wire.h"
 #include "exec/block.h"
 #include "exec/replay_engine.h"
+#include "exec/snapshot.h"
 #include "net/compact_relay.h"
 #include "net/lane_mux.h"
 #include "net/replica_core.h"
@@ -309,6 +310,23 @@ class HybridReplicaNode {
   const Relay& relay() const noexcept { return relay_; }
   /// Consensus-value bytes of the slots committed here.
   std::uint64_t proposal_bytes() const noexcept { return proposal_bytes_; }
+
+  /// The replica's image after finalize(), as a Snapshot<S> (exec/
+  /// snapshot.h): the boundary is one past the last applied barrier
+  /// label, the frontier is the per-origin ERB batch frontier, and the
+  /// applied-id / pool-residue fields are empty (the hybrid lanes have
+  /// no block-replica intake identity).  Two correct replicas that
+  /// converged and finalized hold snapshots with EQUAL content hashes —
+  /// the hash-based state-agreement check the recovery tests reuse
+  /// across runtimes.
+  Snapshot<S> terminal_snapshot() const {
+    Snapshot<S> snap;
+    snap.next_slot =
+        core_.log().empty() ? 0 : core_.log().back().slot + 1;
+    snap.state = engine_->ledger().snapshot();
+    snap.origin_frontier = applied_;
+    return snap;
+  }
   /// Test hook: suppress relay announcements so every peer's barrier
   /// must recover its payload through kGetOps.
   void set_announce_enabled(bool enabled) {

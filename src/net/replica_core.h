@@ -59,9 +59,16 @@ class ReplicaCore {
   /// Canonical committed history: identical bytes on every replica with
   /// the same committed prefix (the determinism / agreement test
   /// object).
-  std::string history() const {
+  std::string history() const { return history_from(0); }
+
+  /// The history SUFFIX from slot `slot` on — what a snapshot-installed
+  /// rejoiner (whose log starts at its install boundary) is compared
+  /// against: its full history must equal every correct replica's
+  /// history_from(install slot), byte for byte.
+  std::string history_from(std::uint64_t slot) const {
     std::string h;
     for (const Entry& e : log_) {
+      if (e.slot < slot) continue;
       h += std::to_string(e.slot);
       h += " p";
       h += std::to_string(e.origin);

@@ -120,6 +120,15 @@ class SimNet {
   void crash(ProcessId node) { crashed_.at(node) = true; }
   bool is_crashed(ProcessId node) const { return crashed_.at(node); }
 
+  /// Crash-RECOVER extension of the crash-stop model: the node may send
+  /// and receive again from now on.  Everything scheduled while it was
+  /// down is already gone (messages TO it were dropped at delivery time,
+  /// its kCall/kTimer events were discarded at fire time), so a restarted
+  /// node comes back with an empty inbox — the recovery subsystem
+  /// (net/recovery.h) is responsible for rebuilding its state from a
+  /// snapshot plus the retained log suffix.
+  void restart(ProcessId node) { crashed_.at(node) = false; }
+
   /// Partitions the network into the given groups: a link is up iff both
   /// endpoints are in the same group.  Nodes not listed in any group end
   /// up isolated (their own singleton component).  Applies to sends from

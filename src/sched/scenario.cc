@@ -26,6 +26,7 @@ const char* to_string(FaultProfile f) {
     case FaultProfile::kLossyDup: return "lossy_dup";
     case FaultProfile::kPartitionHeal: return "partition_heal";
     case FaultProfile::kMinorityCrash: return "minority_crash";
+    case FaultProfile::kCrashRejoin: return "crash_rejoin";
   }
   return "?";
 }
@@ -71,6 +72,9 @@ std::vector<bool> correct_mask(std::size_t n, FaultProfile f) {
     const std::size_t minority = (n - 1) / 2;
     for (std::size_t i = 0; i < minority; ++i) correct[n - 1 - i] = false;
   }
+  // kCrashRejoin: the crashed replica REJOINS and must fully converge,
+  // so it stays in the correct set; its suffix-based agreement audit
+  // lives in the block harness (scenario.h's FaultProfile comment).
   return correct;
 }
 
@@ -84,6 +88,9 @@ NetConfig make_net_config(FaultProfile f, std::uint64_t seed) {
       cfg.drop_num = 15;
       break;
     case FaultProfile::kLossyDup:
+    case FaultProfile::kCrashRejoin:
+      // The rejoin profile keeps lossy_dup's links underneath: recovery
+      // must survive drop + duplication, not just the crash itself.
       cfg.drop_num = 10;
       cfg.dup_num = 20;
       break;
@@ -671,54 +678,78 @@ class BlockHarness {
 
   BlockHarness(const ScenarioConfig& cfg,
                const typename Spec::SeqState& initial)
-      : cfg_(cfg),
+      : cfg_(cfg), initial_(initial),
         net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
         correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
     arm_fault_schedule(net_, cfg.fault);
-    BlockConfig bcfg;
-    bcfg.max_ops = cfg.block_max_ops;
-    bcfg.deadline = cfg.block_deadline;
-    bcfg.pipeline_window = cfg.block_window;
+    bcfg_.max_ops = cfg.block_max_ops;
+    bcfg_.deadline = cfg.block_deadline;
+    bcfg_.pipeline_window = cfg.block_window;
+    eopts_ = ExecOptions{.threads = cfg.replay_threads};
+    rcfg_.snapshot_interval = cfg.snapshot_interval;
+    rcfg_.prune = cfg.prune;
     for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
-      nodes_.push_back(std::make_unique<Node>(
-          net_, p, initial, bcfg, ExecOptions{.threads = cfg.replay_threads},
-          cfg.relay_mode));
+      nodes_.push_back(std::make_unique<Node>(net_, p, initial_, bcfg_,
+                                              eopts_, cfg.relay_mode, rcfg_));
+    }
+    if (cfg.fault == FaultProfile::kCrashRejoin) {
+      // The last replica crashes mid-run and is rebuilt as a rejoiner
+      // (arm_fault_schedule deliberately leaves this profile to us —
+      // net-level events cannot reconstruct a node).
+      const FaultTiming t{};
+      rejoiner_ = static_cast<ProcessId>(cfg.num_replicas - 1);
+      const ProcessId p = *rejoiner_;
+      net_.schedule(t.crash_at, [this, p] { net_.crash(p); });
+      net_.schedule(t.rejoin_at, [this, p] { do_rejoin(p); });
     }
   }
 
   /// Schedules one client op at replica `p` (pool intake; the replica
-  /// cuts and proposes blocks on its own size/deadline rule).
+  /// cuts and proposes blocks on its own size/deadline rule).  The
+  /// callback resolves nodes_[p] at FIRE time — never capture the Node
+  /// pointer: the rejoin rebuilds the node, and a callback firing after
+  /// the restart must reach the NEW instance, not a dangling old one.
   void submit_at(ProcessId p, std::uint64_t t, ProcessId caller,
                  typename Spec::Op op) {
-    Node* node = nodes_[p].get();
-    net_.call_at(p, t, [node, caller, op] { node->submit(caller, op); });
+    net_.call_at(p, t,
+                 [this, p, caller, op] { nodes_[p]->submit(caller, op); });
     last_submit_ = std::max(last_submit_, t);
   }
 
   /// Arms the deadline ticks (every replica, every block_deadline units,
-  /// two periods past the last submit so every pooled op gets a cut),
-  /// drains to convergence, audits, fills the report.  `conserve` checks
-  /// one replica's replayed ledger snapshot.
+  /// two periods past the last submit so every pooled op gets a cut;
+  /// under kCrashRejoin the horizon additionally extends well past the
+  /// rejoin so the rejoiner's post-recovery pool gets its cuts), drains
+  /// to convergence, audits, fills the report.  `conserve` checks one
+  /// replica's replayed ledger snapshot.
   ScenarioReport finish(
       const std::function<std::optional<std::string>(
           const typename Spec::SeqState&)>& conserve) {
     const std::uint64_t period = std::max<std::uint64_t>(cfg_.block_deadline, 1);
-    const std::uint64_t horizon = last_submit_ + 2 * period;
+    std::uint64_t horizon = last_submit_ + 2 * period;
+    if (rejoiner_) {
+      horizon = std::max(horizon, FaultTiming{}.rejoin_at + 40 * period);
+    }
     for (ProcessId p = 0; p < nodes_.size(); ++p) {
-      Node* node = nodes_[p].get();
       for (std::uint64_t t = period; t <= horizon; t += period) {
-        net_.call_at(p, t, [node] { node->on_deadline(); });
+        net_.call_at(p, t, [this, p] { nodes_[p]->on_deadline(); });
       }
     }
     drain_cluster(net_, nodes_, correct_);
     const std::size_t ref = reference_replica(correct_);
-    ScenarioReport rep = cluster_report(cfg_, net_, nodes_, correct_,
-                                        nodes_[ref]->ops_committed());
+    ScenarioReport rep = rejoiner_
+                             ? rejoin_report(ref)
+                             : cluster_report(cfg_, net_, nodes_, correct_,
+                                              nodes_[ref]->ops_committed());
     rep.slots = nodes_[ref]->blocks_committed();
     rep.proposal_bytes = nodes_[ref]->proposal_bytes();
     for (std::size_t p = 0; p < nodes_.size(); ++p) {
       if (correct_[p]) rep.miss_recoveries += nodes_[p]->relay().miss_recoveries();
     }
+    rep.snapshot_bytes = nodes_[ref]->snapshot_bytes();
+    rep.pruned_slots = nodes_[ref]->pruned_slots();
+    rep.retained_log_bytes = nodes_[ref]->retained_log_bytes();
+    if (rejoiner_) rep.catchup_ops = nodes_[*rejoiner_]->catchup_ops();
     audit_conservation(rep, nodes_, [&conserve](const Node& n) {
       return conserve(n.engine().ledger().snapshot());
     });
@@ -726,10 +757,100 @@ class BlockHarness {
   }
 
  private:
+  /// Tears down the crashed node and rebuilds it as a rejoiner: restart
+  /// re-enables delivery (everything queued while down is gone), the new
+  /// instance starts from the INITIAL state with RecoveryConfig::recover
+  /// set, so its first act is fetching a snapshot + catching up the log
+  /// suffix.  The old instance's un-decided proposals die with it — a
+  /// crash loses volatile state by definition.
+  void do_rejoin(ProcessId p) {
+    net_.restart(p);
+    RecoveryConfig rcfg = rcfg_;
+    rcfg.recover = true;
+    nodes_[p] = std::make_unique<Node>(net_, p, initial_, bcfg_, eopts_,
+                                       cfg_.relay_mode, rcfg);
+    if (cfg_.rejoin_stale && rcfg_.snapshot_interval > 0) {
+      // Stale-snapshot variant: the first peer the rejoiner asks
+      // ((p + 1) % n, recovery.h's rotation) serves nothing newer than
+      // the FIRST boundary, so the first install is stale and the
+      // recovery path must supersede it (via the kPruned redirect when
+      // pruning outran the stale boundary, or by replaying the longer
+      // suffix otherwise).
+      const auto first =
+          static_cast<ProcessId>((p + 1) % cfg_.num_replicas);
+      nodes_[first]->recovery().set_max_served_slot(
+          rcfg_.snapshot_interval);
+    }
+  }
+
+  /// The kCrashRejoin audit.  The never-crashed replicas are held to the
+  /// usual byte-identical agreement; the rejoiner — whose log STARTS at
+  /// its snapshot install boundary — must match the reference history's
+  /// SUFFIX from that boundary byte for byte, and its installed snapshot
+  /// hash must equal the reference's retained hash at the same boundary
+  /// (same cut of the same committed prefix ⇒ same bytes ⇒ same hash).
+  ScenarioReport rejoin_report(std::size_t ref) {
+    const ProcessId rj = *rejoiner_;
+    ScenarioReport rep;
+    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault,
+                         cfg_.seed, cfg_.num_replicas, net_.now(),
+                         net_.stats(), nodes_[ref]->history(),
+                         nodes_[ref]->ops_committed(),
+                         nodes_[ref]->log().empty()
+                             ? 0
+                             : nodes_[ref]->log().back().time);
+    std::vector<std::uint64_t> lats;
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      rep.submitted += nodes_[p]->submitted();
+      const auto& l = nodes_[p]->commit_latencies();
+      lats.insert(lats.end(), l.begin(), l.end());
+      if (p == rj) continue;  // suffix-audited below
+      if (!nodes_[p]->all_settled()) {
+        rep.settled = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " has unsettled submissions");
+      }
+      if (nodes_[p]->history() != rep.history) {
+        rep.agreement = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " history diverges");
+      }
+    }
+    rep.latency = summarize_latencies(std::move(lats));
+
+    const Node& r = *nodes_[rj];
+    if (r.recovering() || !r.all_settled()) {
+      rep.settled = false;
+      rep.violations.push_back("rejoiner still recovering or unsettled");
+    }
+    const std::uint64_t at = r.install_slot();
+    if (r.history() != nodes_[ref]->history_from(at)) {
+      rep.agreement = false;
+      rep.violations.push_back(
+          "rejoiner history diverges from the reference suffix at slot " +
+          std::to_string(at));
+    }
+    if (at > 0) {
+      const auto want = nodes_[ref]->recovery().store().hash_at(at);
+      if (!want || *want != r.installed_snapshot_hash()) {
+        rep.agreement = false;
+        rep.violations.push_back(
+            "rejoiner snapshot hash mismatch at boundary " +
+            std::to_string(at));
+      }
+    }
+    return rep;
+  }
+
   ScenarioConfig cfg_;
+  typename Spec::SeqState initial_;  // the rejoiner restarts from this
   typename Node::Net net_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<bool> correct_;
+  BlockConfig bcfg_;
+  ExecOptions eopts_;
+  RecoveryConfig rcfg_;
+  std::optional<ProcessId> rejoiner_;
   std::uint64_t last_submit_ = 0;
 };
 
@@ -1005,6 +1126,10 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
   // dyntoken spender groups), so three replicas is the floor; the fault
   // timings are tuned for the default of four.
   TS_EXPECTS(cfg.num_replicas >= 3);
+  // Only the block runtime can rejoin (scenario.h's FaultProfile doc).
+  TS_EXPECTS(cfg.fault != FaultProfile::kCrashRejoin ||
+             cfg.workload == Workload::kErc20BlockStorm ||
+             cfg.workload == Workload::kMixedBlockEscalate);
   switch (cfg.workload) {
     case Workload::kErc20TransferStorm:
       return run_erc20_transfer_storm(cfg);

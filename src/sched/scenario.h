@@ -51,6 +51,16 @@ enum class FaultProfile : std::uint8_t {
   kLossyDup,       ///< 10% loss + 20% duplication (idempotence stress)
   kPartitionHeal,  ///< majority/minority split at t=35, healed at t=700
   kMinorityCrash,  ///< floor((n-1)/2) replicas crash-stop at t=45
+  /// One replica crashes at t=45 (lossy_dup links underneath) and
+  /// REJOINS at FaultTiming::rejoin_at: the harness rebuilds it with
+  /// RecoveryConfig::recover set, so it boots from a fetched snapshot
+  /// plus the retained log suffix (net/recovery.h; DESIGN.md §13).
+  /// Block-pipeline workloads only — the rejoiner counts as CORRECT
+  /// (correct_mask is all-true) and is audited against the reference
+  /// replica's history SUFFIX from its install boundary.  Not in
+  /// all_fault_profiles(): the matrix tests iterate that list over
+  /// every workload, and only the block runtime can rejoin.
+  kCrashRejoin,
 };
 
 /// The named workloads.  The first five (ISSUE 2) are distributed: a
@@ -133,6 +143,17 @@ struct ScenarioConfig {
   /// fixed inside the hybrid runtime).  History-invariant like
   /// relay_mode; amortizes the per-broadcast header + signature bytes.
   std::size_t erb_batch = 1;
+
+  // Recovery knobs (ISSUE 7; block-pipeline workloads only — see
+  // net/recovery.h).  All recovery traffic is auxiliary-class, so in a
+  // run where nobody rejoins the committed history is INVARIANT to
+  // snapshot_interval and prune — the snapshot-invariance criterion.
+  std::uint64_t snapshot_interval = 0;  ///< cut every this many slots; 0 = off
+  bool prune = false;  ///< truncate the log below the all-replica mark floor
+  /// kCrashRejoin only: the first peer the rejoiner asks serves nothing
+  /// newer than the FIRST snapshot boundary, forcing a stale install
+  /// that the recovery path must supersede (the stale-snapshot variant).
+  bool rejoin_stale = false;
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
@@ -190,6 +211,12 @@ struct ScenarioReport {
   /// recover-on-miss round-trip, summed over correct replicas.
   std::uint64_t miss_recoveries = 0;
 
+  // Recovery counters (snapshotting / crash_rejoin runs; 0 elsewhere).
+  std::uint64_t snapshot_bytes = 0;  ///< newest snapshot size (reference)
+  std::uint64_t catchup_ops = 0;     ///< ops the rejoiner replayed post-install
+  std::uint64_t pruned_slots = 0;    ///< slots truncated on the reference
+  std::uint64_t retained_log_bytes = 0;  ///< decided bytes still held (ref)
+
   bool agreement = false;
   bool conservation = false;
   bool settled = false;
@@ -217,6 +244,14 @@ struct FaultTiming {
   std::uint64_t partition_at = 35;
   std::uint64_t heal_at = 700;
   std::uint64_t crash_at = 45;
+  /// kCrashRejoin: when the crashed replica is rebuilt and restarted.
+  /// Deliberately LATE relative to the workload script: under the
+  /// profile's lossy links the survivors' commits (and their snapshot
+  /// cuts) take hundreds of ticks, and the rejoiner must come back to a
+  /// cluster that has genuinely moved on — a frontier > 0 and, with
+  /// snapshotting enabled, an installable boundary — or the catch-up
+  /// protocol would be exercised only vacuously.
+  std::uint64_t rejoin_at = 900;
 };
 
 /// Replicas that stay correct under `f` (the last floor((n-1)/2) ids
@@ -228,6 +263,10 @@ NetConfig make_net_config(FaultProfile f, std::uint64_t seed);
 
 /// Arms the control-event half of a profile on `net` (partition + heal,
 /// or the minority crash); kNone/kLossy*/kLossyDup need no control events.
+/// kCrashRejoin is deliberately NOT armed here: its crash + rebuild +
+/// restart needs the harness (the rejoining NODE must be reconstructed
+/// with RecoveryConfig::recover, which a net-level event cannot do), so
+/// the block harness owns that schedule.
 template <typename Msg>
 void arm_fault_schedule(SimNet<Msg>& net, FaultProfile f,
                         FaultTiming t = FaultTiming{}) {
