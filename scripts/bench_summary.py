@@ -62,8 +62,10 @@ def rows_for(path):
         # fast-lane commits vs the all-Paxos baseline's message bill),
         # the wire-size counters (every SimNet bench via
         # export_net_counters, plus bench_compact_relay's consensus-value
-        # bytes and kGetOps recovery count), and the recovery counters
-        # (bench_recovery: snapshot/prune/catch-up accounting).
+        # bytes and kGetOps recovery count), the recovery counters
+        # (bench_recovery: snapshot/prune/catch-up accounting), and the
+        # sharding counters (bench_sharding: per-group consensus slots
+        # and the 2PC/migration protocol volume).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
                     "commits_per_ktime", "consensus_slots",
@@ -71,7 +73,8 @@ def rows_for(path):
                     "bytes_sent", "bytes_delivered", "proposal_bytes",
                     "bytes_per_slot", "miss_recoveries",
                     "snapshot_bytes", "catchup_ops", "pruned_slots",
-                    "retained_log_bytes"):
+                    "retained_log_bytes", "groups", "group_slots_max",
+                    "cross_ops", "cross_aborts", "migrations"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

@@ -68,6 +68,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -121,18 +122,27 @@ struct BlockValue {
   friend bool operator==(const BlockValue&, const BlockValue&) = default;
 };
 
+/// The block pipeline's multiplexed wire type: lane 0 carries the
+/// consensus (Paxos) traffic, lane 1 the relay recovery lane, lane 2
+/// the snapshot recovery lane (both auxiliary-class).
 template <ConcurrentTokenSpec S>
+using BlockLaneMsg =
+    LaneMsg<PaxosMsg<TobCmd<BlockValue<S>>>,
+            RelayMsg<typename ConcurrentLedger<S>::BatchOp>, RecoveryMsg<S>>;
+
+/// `BaseNet` is the net the three lanes multiplex onto — a SimNet
+/// carrying BlockLaneMsg<S> by default, or a per-group facade
+/// (net/shard_group.h's GroupNet) when several whole block runtimes
+/// partition one cluster into replica groups.
+template <ConcurrentTokenSpec S, typename BaseNet = SimNet<BlockLaneMsg<S>>>
 class BlockReplicaNode {
  public:
   using Op = typename S::Op;
   using BatchOp = typename ConcurrentLedger<S>::BatchOp;
   using Value = BlockValue<S>;
-  /// Lane 0: the consensus lane's Paxos traffic.  Lane 1: the relay
-  /// recovery lane.  Lane 2: the snapshot recovery lane (both
-  /// auxiliary-class).
-  using Mux =
-      LaneMux<PaxosMsg<TobCmd<Value>>, RelayMsg<BatchOp>, RecoveryMsg<S>>;
-  using Net = typename Mux::Net;
+  using Mux = BasicLaneMux<BaseNet, PaxosMsg<TobCmd<Value>>,
+                           RelayMsg<BatchOp>, RecoveryMsg<S>>;
+  using Net = BaseNet;
   using Tob = TotalOrderBcast<Value, typename Mux::NetA>;
   using Relay = RelayEndpoint<BatchOp, typename Mux::NetB>;
   using Recovery = RecoveryEndpoint<S, typename Mux::template LaneT<2>>;
@@ -250,6 +260,15 @@ class BlockReplicaNode {
     relay_.set_announce_enabled(enabled);
   }
 
+  /// Post-apply hook: invoked after each committed block is applied to
+  /// the local engine (slot = the block's consensus slot).  The shard
+  /// router's 2PC driver hangs off this to react to replicated state
+  /// transitions; reactions may re-enter submit() on this or sibling
+  /// nodes (apply never recurses — it only runs on commit delivery).
+  void set_on_apply(std::function<void(std::uint64_t slot)> fn) {
+    on_apply_ = std::move(fn);
+  }
+
   // --- recovery accounting / test hooks (DESIGN.md §13) ---
 
   const RecoveryConfig& recovery_config() const noexcept { return rcfg_; }
@@ -355,6 +374,7 @@ class BlockReplicaNode {
           (slot + 1) % rcfg_.snapshot_interval == 0) {
         cut_snapshot(slot + 1);
       }
+      if (on_apply_) on_apply_(slot);
     }
     if (recovering_ && have_target_ &&
         tob_.delivered_count() >= target_frontier_) {
@@ -476,6 +496,7 @@ class BlockReplicaNode {
   Relay relay_;
   Recovery recovery_;
   ReplicaCore core_;
+  std::function<void(std::uint64_t)> on_apply_;
   std::deque<Parked> parked_;
   std::size_t ops_submitted_ = 0;
   std::uint64_t blocks_proposed_ = 0;

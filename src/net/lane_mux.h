@@ -117,20 +117,26 @@ class LaneNet {
 /// Construct it BEFORE the protocol engines (they bind to the facades),
 /// and keep it alive as long as they are (the facades hold their
 /// handlers).
-template <typename... Ls>
-class LaneMux {
+///
+/// `Base` is any net presenting the SimNet surface with
+/// `MsgType = LaneMsg<Ls...>` — a real SimNet (the `LaneMux` alias
+/// below) or another facade such as the shard router's per-group
+/// GroupNet (net/shard_group.h), which lets a whole lane STACK ride one
+/// group of a partitioned cluster.
+template <typename Base, typename... Ls>
+class BasicLaneMux {
  public:
   static constexpr std::size_t kLanes = sizeof...(Ls);
   static_assert(kLanes >= 2, "a mux needs at least two lanes");
 
   using Msg = LaneMsg<Ls...>;
-  using Net = SimNet<Msg>;
+  using Net = Base;
   template <std::size_t I>
   using LaneT = LaneNet<std::variant_alternative_t<I, Msg>, Net>;
   using NetA = LaneT<0>;
   using NetB = LaneT<1>;
 
-  LaneMux(Net& net, ProcessId self)
+  BasicLaneMux(Net& net, ProcessId self)
       : lanes_(make_lanes(net, std::index_sequence_for<Ls...>{})) {
     net.set_handler(self, [this](ProcessId from, const Msg& m) {
       dispatch_msg(from, m, std::index_sequence_for<Ls...>{});
@@ -140,8 +146,8 @@ class LaneMux {
     });
   }
 
-  LaneMux(const LaneMux&) = delete;
-  LaneMux& operator=(const LaneMux&) = delete;
+  BasicLaneMux(const BasicLaneMux&) = delete;
+  BasicLaneMux& operator=(const BasicLaneMux&) = delete;
 
   template <std::size_t I>
   LaneT<I>& lane() noexcept {
@@ -177,5 +183,10 @@ class LaneMux {
 
   std::tuple<LaneNet<Ls, Net>...> lanes_;
 };
+
+/// The common case: the lanes multiplex directly onto a SimNet whose
+/// wire type is their variant.  (All pre-shard runtimes use this form.)
+template <typename... Ls>
+using LaneMux = BasicLaneMux<SimNet<LaneMsg<Ls...>>, Ls...>;
 
 }  // namespace tokensync

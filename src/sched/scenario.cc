@@ -13,6 +13,7 @@
 #include "exec/exec_specs.h"
 #include "net/block_replica.h"
 #include "net/hybrid_replica.h"
+#include "net/shard_group.h"
 #include "objects/erc20.h"
 #include "objects/erc721.h"
 #include "objects/erc777.h"
@@ -44,6 +45,7 @@ const char* to_string(Workload w) {
     case Workload::kMixedBlockEscalate: return "mixed_block_escalate";
     case Workload::kErc20FastlaneStorm: return "erc20_fastlane_storm";
     case Workload::kMixedSyncTiers: return "mixed_sync_tiers";
+    case Workload::kErc20ZipfianShards: return "erc20_zipfian_shards";
   }
   return "?";
 }
@@ -62,7 +64,7 @@ const std::vector<Workload>& all_workloads() {
       Workload::kAtBcastPayments, Workload::kErc20ParallelStorm,
       Workload::kMixedCommuteEscalate, Workload::kErc20BlockStorm,
       Workload::kMixedBlockEscalate, Workload::kErc20FastlaneStorm,
-      Workload::kMixedSyncTiers};
+      Workload::kMixedSyncTiers, Workload::kErc20ZipfianShards};
   return kAll;
 }
 
@@ -1119,6 +1121,218 @@ ScenarioReport run_mixed_sync_tiers(const ScenarioConfig& cfg) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Sharded harness (ISSUE 8): ShardedReplicaNode clusters — N replica
+// groups over one SimNet, with the 2PC / migration driver reacting to
+// committed stage transitions (net/shard_group.h).
+// ---------------------------------------------------------------------------
+
+class ShardHarness {
+ public:
+  using Node = ShardedReplicaNode;
+
+  explicit ShardHarness(const ScenarioConfig& cfg)
+      : cfg_(cfg), net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
+        correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
+    arm_fault_schedule(net_, cfg.fault);
+    scfg_.num_groups = std::max<std::uint32_t>(cfg.num_groups, 1);
+    scfg_.num_accounts = cfg.shard_accounts;
+    scfg_.initial_balance = kInitialBalance;
+    BlockConfig bcfg;
+    bcfg.max_ops = cfg.block_max_ops;
+    bcfg.deadline = cfg.block_deadline;
+    bcfg.pipeline_window = cfg.block_window;
+    const ExecOptions eopts{.threads = cfg.replay_threads};
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      nodes_.push_back(std::make_unique<Node>(net_, p, scfg_, bcfg, eopts,
+                                              cfg.relay_mode));
+    }
+  }
+
+  void transfer_at(ProcessId p, std::uint64_t t, AccountId src, AccountId dst,
+                   Amount v) {
+    net_.call_at(p, t, [this, p, src, dst, v] {
+      nodes_[p]->submit_transfer(src, dst, v);
+    });
+    last_submit_ = std::max(last_submit_, t);
+  }
+
+  void migrate_at(ProcessId p, std::uint64_t t, AccountId account,
+                  std::uint32_t to_group) {
+    net_.call_at(p, t, [this, p, account, to_group] {
+      nodes_[p]->submit_migrate(account, to_group);
+    });
+    last_submit_ = std::max(last_submit_, t);
+  }
+
+  ScenarioReport finish() {
+    const std::uint64_t period =
+        std::max<std::uint64_t>(cfg_.block_deadline, 1);
+    const std::uint64_t horizon = last_submit_ + 2 * period;
+    for (ProcessId p = 0; p < nodes_.size(); ++p) {
+      for (std::uint64_t t = period; t <= horizon; t += period) {
+        net_.call_at(p, t, [this, p] { nodes_[p]->on_deadline(); });
+      }
+    }
+    // The drain must CUT as well as sync: every committed 2PC stage
+    // spawns follow-up submissions (driver call_at timers firing inside
+    // the drain), and those pooled ops only propose on a deadline tick.
+    // Ten rounds of run-to-quiescence + cut cover the longest chain
+    // (prepare -> commit -> ack, or out -> in -> ack, each stage one
+    // commit plus one cut) with room for lossy retransmits.
+    drain_to_convergence(net_, [this] {
+      for (std::size_t p = 0; p < nodes_.size(); ++p) {
+        if (correct_[p]) {
+          nodes_[p]->sync();
+          nodes_[p]->on_deadline();
+        }
+      }
+    });
+
+    ScenarioReport rep;
+    const std::size_t ref = reference_replica(correct_);
+    fill_report_skeleton(rep, to_string(cfg_.workload), cfg_.fault, cfg_.seed,
+                         cfg_.num_replicas, net_.now(), net_.stats(),
+                         nodes_[ref]->history(), nodes_[ref]->ops_committed(),
+                         nodes_[ref]->last_commit_time());
+
+    // Agreement/settlement.  Correct replicas: the CONCATENATED history
+    // must match byte for byte.  A crashed replica stopped mid-log in
+    // every group independently, so its concatenation is not a prefix of
+    // the reference's — the prefix rule applies PER GROUP instead.
+    std::vector<std::uint64_t> lats;
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (correct_[p]) {
+        rep.submitted += nodes_[p]->submitted();
+        if (!nodes_[p]->all_settled()) {
+          rep.settled = false;
+          rep.violations.push_back("replica " + std::to_string(p) +
+                                   " has unsettled submissions");
+        }
+        if (nodes_[p]->history() != rep.history) {
+          rep.agreement = false;
+          rep.violations.push_back("replica " + std::to_string(p) +
+                                   " history diverges");
+        }
+        const auto l = nodes_[p]->commit_latencies();
+        lats.insert(lats.end(), l.begin(), l.end());
+      } else {
+        for (std::uint32_t g = 0; g < scfg_.num_groups; ++g) {
+          const std::string h = nodes_[p]->group_history(g);
+          const std::string r = nodes_[ref]->group_history(g);
+          if (r.compare(0, h.size(), h) != 0) {
+            rep.agreement = false;
+            rep.violations.push_back("crashed replica " + std::to_string(p) +
+                                     " group " + std::to_string(g) +
+                                     " history is not a prefix");
+          }
+        }
+      }
+    }
+    rep.latency = summarize_latencies(std::move(lats));
+
+    // Global conservation ACROSS groups, on every correct replica: all
+    // protocol records terminal (nothing in flight), every account owned
+    // by exactly one group, and the owned balances sum to the initial
+    // supply — a half-applied cross-shard transfer or a migration leak
+    // breaks one of the three.
+    const Amount expected = nodes_[ref]->expected_supply();
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (!correct_[p]) continue;
+      const ShardAudit a = nodes_[p]->audit();
+      if (!a.quiescent) {
+        rep.conservation = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 ": transfers still in flight at quiescence");
+      }
+      if (!a.partitioned) {
+        rep.conservation = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 ": account ownership not a partition");
+      }
+      if (a.owned_total != expected) {
+        rep.conservation = false;
+        rep.violations.push_back(
+            "replica " + std::to_string(p) + ": supply " +
+            std::to_string(a.owned_total) + " != " + std::to_string(expected));
+      }
+    }
+
+    const ShardAudit a = nodes_[ref]->audit();
+    rep.groups = scfg_.num_groups;
+    rep.slots = nodes_[ref]->slots_committed();
+    rep.group_slots_max = nodes_[ref]->max_group_slots();
+    rep.proposal_bytes = nodes_[ref]->proposal_bytes();
+    rep.cross_shard_ops = a.cross_done;
+    rep.cross_shard_aborts = a.cross_aborted;
+    rep.migrations = a.migrations;
+    return rep;
+  }
+
+  static constexpr Amount kInitialBalance = 100;
+
+ private:
+  ScenarioConfig cfg_;
+  ShardGroupConfig scfg_;
+  Node::Net net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> correct_;
+  std::uint64_t last_submit_ = 0;
+};
+
+// Zipfian sharded storm: a skewed keyspace (min-of-two-uniforms pushes
+// traffic toward the low accounts) split across `num_groups` groups,
+// `cross_pct`% of transfers forced cross-group, plus a few migrations of
+// the hottest account chasing the load.  With num_groups = 1 everything
+// is intra and no migration is scheduled — the plain-matrix degenerate.
+ScenarioReport run_erc20_zipfian_shards(const ScenarioConfig& cfg) {
+  ShardHarness h(cfg);
+  const std::size_t kAccts = cfg.shard_accounts;
+  const std::uint32_t groups = std::max<std::uint32_t>(cfg.num_groups, 1);
+
+  Rng rng(cfg.seed * 1553 + 41);
+  const auto skewed = [&rng, kAccts] {
+    return static_cast<AccountId>(
+        std::min(rng.below(kAccts), rng.below(kAccts)));
+  };
+  for (std::size_t j = 0; j < cfg.intensity; ++j) {
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      const std::uint64_t base = 10 + 17 * j + 4 * p;
+      for (std::uint64_t k = 0; k < 3; ++k) {
+        const AccountId src = skewed();
+        AccountId dst = static_cast<AccountId>(rng.below(kAccts));
+        const bool cross =
+            groups > 1 && rng.below(100) < cfg.cross_pct;
+        if (cross) {
+          // Nudge into a different residue class (mod-group residue is
+          // the INITIAL shard map; later migrations may re-home an
+          // account, which is exactly the routed-traffic case).
+          if (dst % groups == src % groups) {
+            dst = static_cast<AccountId>((dst + 1) % kAccts);
+          }
+        } else if (dst % groups != src % groups) {
+          dst = static_cast<AccountId>(dst - dst % groups + src % groups);
+        }
+        h.transfer_at(p, base + k, src, dst,
+                      1 + static_cast<Amount>(rng.below(3)));
+      }
+    }
+  }
+  if (groups > 1) {
+    // The hot account (0 — the skew's mode) chases load around the
+    // groups: each migration is a CN > 1 ownership barrier in both the
+    // old and the new home.
+    const std::size_t moves =
+        std::min<std::size_t>(4, cfg.intensity / 2 + 1);
+    for (std::size_t m = 0; m < moves; ++m) {
+      h.migrate_at(static_cast<ProcessId>(m % cfg.num_replicas),
+                   120 + 140 * m, 0,
+                   static_cast<std::uint32_t>((m + 1) % groups));
+    }
+  }
+  return h.finish();
+}
+
 }  // namespace
 
 ScenarioReport run_scenario(const ScenarioConfig& cfg) {
@@ -1153,6 +1367,8 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_erc20_fastlane_storm(cfg);
     case Workload::kMixedSyncTiers:
       return run_mixed_sync_tiers(cfg);
+    case Workload::kErc20ZipfianShards:
+      return run_erc20_zipfian_shards(cfg);
   }
   TS_EXPECTS(false);
   return {};

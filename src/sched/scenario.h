@@ -100,6 +100,19 @@ enum class Workload : std::uint8_t {
   kMixedBlockEscalate,   ///< block pipeline: ERC721 blocks with escalation lanes
   kErc20FastlaneStorm,   ///< hybrid: pure owner-signed transfers, zero slots
   kMixedSyncTiers,       ///< hybrid: fast-lane transfers + consensus races
+  /// Sharded (ISSUE 8, net/shard_group.h): the account space is
+  /// partitioned across `num_groups` replica groups — each a full block
+  /// pipeline over its slice of the one shared SimNet — and a
+  /// zipfian-skewed client script mixes intra-shard transfers (one
+  /// group's consensus, where throughput scales with the group count)
+  /// with `cross_pct`% cross-shard transfers (the 2PC prepare / commit /
+  /// ack protocol riding BOTH groups' consensus) and a few hot-account
+  /// migrations (the CN > 1 ownership barrier).  Audits add global
+  /// conservation ACROSS groups (Σ owned balances + nothing in flight)
+  /// and exactly-one-owner per account.  num_groups = 1 degenerates to a
+  /// plain block-pipeline run (all intra, no migrations), which is how
+  /// the workload rides the standard fault matrix.
+  kErc20ZipfianShards,
 };
 
 const char* to_string(FaultProfile f);
@@ -154,6 +167,13 @@ struct ScenarioConfig {
   /// newer than the FIRST snapshot boundary, forcing a stale install
   /// that the recovery path must supersede (the stale-snapshot variant).
   bool rejoin_stale = false;
+
+  // Sharding knobs (ISSUE 8; kErc20ZipfianShards only — see
+  // net/shard_group.h).  The committed per-group histories are a pure
+  // function of (seed, these knobs) and independent of replay_threads.
+  std::uint32_t num_groups = 1;   ///< replica groups the accounts split over
+  std::uint32_t cross_pct = 30;   ///< % of transfers that cross groups (G>1)
+  std::size_t shard_accounts = 16;  ///< account-space size for the workload
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
@@ -216,6 +236,17 @@ struct ScenarioReport {
   std::uint64_t catchup_ops = 0;     ///< ops the rejoiner replayed post-install
   std::uint64_t pruned_slots = 0;    ///< slots truncated on the reference
   std::uint64_t retained_log_bytes = 0;  ///< decided bytes still held (ref)
+
+  // Sharding counters (kErc20ZipfianShards; groups = 1, rest 0 elsewhere).
+  // `slots` sums over groups there; group_slots_max is the BUSIEST
+  // group's slot count — the per-group consensus bill the sharding
+  // benchmark compares against the 1-group baseline (each group decides
+  // only its own slice, so the max falls as groups absorb the skew).
+  std::size_t groups = 1;
+  std::size_t group_slots_max = 0;      ///< committed slots, busiest group
+  std::size_t cross_shard_ops = 0;      ///< 2PC transfers fully committed
+  std::size_t cross_shard_aborts = 0;   ///< 2PC transfers refunded (abort path)
+  std::size_t migrations = 0;           ///< account migrations retired
 
   bool agreement = false;
   bool conservation = false;

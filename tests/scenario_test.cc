@@ -174,6 +174,51 @@ TEST(ScenarioMatrix, ExecutorWorkloadsFaultAxisIsInert) {
   }
 }
 
+// --- The sharded workload (ISSUE 8): erc20_zipfian_shards counters and
+// --- determinism.  (The AllWorkloadsFaultFree matrix above already runs
+// --- it at the num_groups = 1 degenerate; the deep fault × thread
+// --- matrix lives in tests/cross_shard_test.cc.)
+
+TEST(ScenarioShards, ZipfianCountersAtTwoGroups) {
+  auto c = cfg(Workload::kErc20ZipfianShards, FaultProfile::kNone);
+  c.num_groups = 2;
+  const auto rep = run_scenario(c);
+  expect_ok(rep);
+  EXPECT_EQ(rep.groups, 2u);
+  // The script forces a cross-shard slice and hot-account migrations;
+  // every 2PC transfer either committed or aborted (terminal), and at
+  // least one of each protocol actually exercised.
+  EXPECT_GT(rep.cross_shard_ops, 0u);
+  EXPECT_GE(rep.migrations, 1u);
+  EXPECT_GT(rep.slots, 0u);
+  EXPECT_GE(rep.slots, rep.group_slots_max);
+  EXPECT_NE(rep.history.find("== group 1 =="), std::string::npos);
+}
+
+TEST(ScenarioShards, OneGroupDegeneratesToPlainPipeline) {
+  auto c = cfg(Workload::kErc20ZipfianShards, FaultProfile::kNone);
+  c.num_groups = 1;
+  const auto rep = run_scenario(c);
+  expect_ok(rep);
+  EXPECT_EQ(rep.groups, 1u);
+  EXPECT_EQ(rep.cross_shard_ops, 0u);
+  EXPECT_EQ(rep.cross_shard_aborts, 0u);
+  EXPECT_EQ(rep.migrations, 0u);
+  EXPECT_EQ(rep.slots, rep.group_slots_max);
+}
+
+TEST(ScenarioShards, FourGroupsSameSeedSameBytes) {
+  auto c = cfg(Workload::kErc20ZipfianShards, FaultProfile::kLossyDup);
+  c.num_groups = 4;
+  const auto a = run_scenario(c);
+  const auto b = run_scenario(c);
+  expect_ok(a);
+  expect_identical(a, b);
+  EXPECT_EQ(a.cross_shard_ops, b.cross_shard_ops);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.group_slots_max, b.group_slots_max);
+}
+
 // --- The replicated token race: any TokenRaceSpec end-to-end over the
 // --- network, agreement + validity under faults.
 

@@ -172,5 +172,76 @@ TEST(SeedSweep, CrashRejoinRecoveryVariants) {
   }
 }
 
+// --- The sharding axis (ISSUE 8): num_groups ∈ {1, 2, 4} ------------------
+//
+// The erc20_zipfian_shards workload swept over seeds × groups: thread
+// invariance {1, 2, 8} and run-twice reproducibility must hold at every
+// group count.  Relay-mode equality follows the E21 lane-bridge
+// precedent, one step further: at G = 1 there is no cross-shard driver,
+// so full == compact exactly as in the base sweep; at G > 1 it holds
+// FAULT-FREE (no misses ⇒ no recovery round trips ⇒ applies land at the
+// same instants) but NOT under lossy or partition profiles — a compact
+// miss recovery delays a block's apply, the 2PC driver's reaction timer
+// (armed AT apply time) moves with it, and its follow-up submission
+// lands in a different primary slot.  Each mode remains individually
+// deterministic and thread-invariant; only cross-MODE equality is
+// profile-dependent, so that is exactly what is (and is not) asserted.
+void sweep_group_axis(FaultProfile f) {
+  const std::size_t n = sweep_n();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = 1 + 37 * i;
+    for (const std::uint32_t groups : {1u, 2u, 4u}) {
+      ScenarioConfig base;
+      base.workload = Workload::kErc20ZipfianShards;
+      base.fault = f;
+      base.seed = seed;
+      base.num_replicas = 4;
+      base.intensity = 3;
+      base.num_groups = groups;
+      std::string err;
+
+      const Cell full1 = run_cell(base, 1, RelayMode::kFull, &err);
+      const Cell compact1 = run_cell(base, 1, RelayMode::kCompact, &err);
+      ASSERT_TRUE(err.empty()) << err;
+      EXPECT_FALSE(full1.history.empty())
+          << "seed " << seed << " groups " << groups;
+
+      for (const std::size_t threads : {2u, 8u}) {
+        const Cell ft = run_cell(base, threads, RelayMode::kFull, &err);
+        const Cell ct = run_cell(base, threads, RelayMode::kCompact, &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(full1.history, ft.history)
+            << "seed " << seed << " groups " << groups << " threads "
+            << threads << " (full)";
+        EXPECT_EQ(compact1.history, ct.history)
+            << "seed " << seed << " groups " << groups << " threads "
+            << threads << " (compact)";
+      }
+
+      if (groups == 1 || f == FaultProfile::kNone) {
+        EXPECT_EQ(full1.history, compact1.history)
+            << "seed " << seed << " groups " << groups;
+      }
+
+      const Cell again = run_cell(base, 1, RelayMode::kFull, &err);
+      ASSERT_TRUE(err.empty()) << err;
+      EXPECT_EQ(full1.history, again.history)
+          << "seed " << seed << " groups " << groups;
+      EXPECT_EQ(full1.digest, again.digest)
+          << "seed " << seed << " groups " << groups;
+    }
+  }
+}
+
+TEST(SeedSweep, GroupAxisFaultNone) { sweep_group_axis(FaultProfile::kNone); }
+
+TEST(SeedSweep, GroupAxisLossyDup) {
+  sweep_group_axis(FaultProfile::kLossyDup);
+}
+
+TEST(SeedSweep, GroupAxisPartitionHeal) {
+  sweep_group_axis(FaultProfile::kPartitionHeal);
+}
+
 }  // namespace
 }  // namespace tokensync
