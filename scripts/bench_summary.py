@@ -65,7 +65,8 @@ def rows_for(path):
         # bytes and kGetOps recovery count), the recovery counters
         # (bench_recovery: snapshot/prune/catch-up accounting), and the
         # sharding counters (bench_sharding: per-group consensus slots
-        # and the 2PC/migration protocol volume).
+        # and the 2PC/migration protocol volume), and the Byzantine
+        # counters (bench_byzantine: what the respend defense caught).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
                     "commits_per_ktime", "consensus_slots",
@@ -74,7 +75,9 @@ def rows_for(path):
                     "bytes_per_slot", "miss_recoveries",
                     "snapshot_bytes", "catchup_ops", "pruned_slots",
                     "retained_log_bytes", "groups", "group_slots_max",
-                    "cross_ops", "cross_aborts", "migrations"):
+                    "cross_ops", "cross_aborts", "migrations",
+                    "conflict_proofs", "quarantined_origins",
+                    "equivocation_commits"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

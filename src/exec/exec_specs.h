@@ -32,6 +32,8 @@
 //            CN = k result for k racing spenders).
 #pragma once
 
+#include <set>
+
 #include "atomic/ledger_specs.h"
 #include "exec/conflict_planner.h"
 #include "exec/parallel_executor.h"
@@ -77,6 +79,31 @@ struct SyncTraits<Erc777LedgerSpec> {
 // Erc721LedgerSpec: intentionally NO SyncTraits specialization — the
 // conservative default (kConsensus for every op) is the correct
 // classification for ownership races (file comment).
+
+/// Stateful SyncTraits override for the Byzantine tier (DESIGN.md §15):
+/// wraps SyncTraits<S> with a quarantine set.  Once an origin has a
+/// ConflictProof against it, its operations lose fast-lane privileges —
+/// classify() escalates everything it submits to consensus, where the
+/// total order (not per-sender FIFO trust) arbitrates.  Honest callers
+/// are classified exactly as before, so arming the override costs the
+/// fast lane nothing until someone provably lies.
+template <typename S>
+class QuarantineSyncTraits {
+ public:
+  SyncClass classify(ProcessId caller, const typename S::Op& op) const {
+    if (quarantined_.contains(caller)) return SyncClass::kConsensus;
+    return SyncTraits<S>::classify(caller, op);
+  }
+
+  void quarantine(ProcessId origin) { quarantined_.insert(origin); }
+  bool is_quarantined(ProcessId origin) const {
+    return quarantined_.contains(origin);
+  }
+  std::size_t num_quarantined() const { return quarantined_.size(); }
+
+ private:
+  std::set<ProcessId> quarantined_;
+};
 
 // --- StateCodec: snapshot byte encodings of the token family ----------
 //

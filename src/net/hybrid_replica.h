@@ -76,8 +76,33 @@
 // its own fast batch, wins a slot referencing it, then crashes before
 // any send survives link loss — needs crash + loss in one run, which
 // the fault matrix (and the crash-stop model's fair-lossy assumption
-// with retransmission until ack) does not produce; the Byzantine-lane
-// upgrade (Bracha) is ROADMAP future work.
+// with retransmission until ack) does not produce.
+//
+// ISSUE 9 — the Byzantine fast lane (DESIGN.md §15):
+// `HybridConfig::fast_lane` swaps the CN-1 lane's broadcast primitive.
+// Under FastLane::kBracha the fast lane rides Bracha reliable broadcast
+// (bcast/bracha.h): same FIFO frontier surface, same merge rule, but a
+// slot delivers only behind a 2f+1 READY quorum, so up to f < n/3 LYING
+// replicas cannot split what correct replicas deliver.  The one
+// behavioral difference the runtime absorbs: Bracha does NOT deliver
+// the local copy synchronously inside broadcast() (ERB does), so the
+// batch counter advances at the cut, not at delivery, and a fast op's
+// commit latency includes the quorum round-trips.
+//
+// RESPEND DEFENSE on top of it: when the Bracha lane catches an origin
+// signing two payloads for one (origin, seq) — a client double-spending
+// the same intake slot — the node (a) records the canonical
+// ConflictProof, (b) quarantines the origin in QuarantineSyncTraits so
+// every later fast-lane submission it makes here escalates to the
+// consensus lane, and (c) relays the proof over a dedicated
+// auxiliary-class ERB lane (lane 4) so replicas that never saw both
+// payloads on the wire — detection evidence can route past a node —
+// still install the identical proof.  The proof lane is aux-class like
+// the compact relay: it cannot perturb the primary schedule, so a run
+// with an equivocator commits the byte-identical history of the same
+// run without one — equivocation changes the PROOF ledger, never the
+// token ledger, and at most one branch (the majority SEND, by quorum
+// intersection) ever commits anywhere.
 //
 // Fast-lane semantics: an op's response is computed at its canonical
 // merge position (the spec's Δ, same as every other runtime — an
@@ -94,6 +119,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -101,11 +127,13 @@
 
 #include "atbcast/total_order.h"
 #include "atomic/ledger.h"
+#include "bcast/bracha.h"
 #include "bcast/erb.h"
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/wire.h"
 #include "exec/block.h"
+#include "exec/exec_specs.h"
 #include "exec/replay_engine.h"
 #include "exec/snapshot.h"
 #include "net/compact_relay.h"
@@ -115,6 +143,13 @@
 #include "objects/sync_class.h"
 
 namespace tokensync {
+
+/// Conflict-proof relay traffic is auxiliary-class (common/wire.h): like
+/// compact-relay recovery, proof gossip must not perturb the primary
+/// schedule — histories have to stay byte-identical with and without an
+/// equivocator in the run.
+template <typename P>
+struct is_aux_wire<ErbMsg<ConflictProof<P>>> : std::true_type {};
 
 /// Hybrid runtime knobs (the lane split itself is SyncTraits-driven).
 struct HybridConfig {
@@ -131,6 +166,10 @@ struct HybridConfig {
   /// ignored) — the all-Paxos baseline the benchmarks compare the lane
   /// split against (same script, same network, zero fast commits).
   bool force_consensus = false;
+  /// Which broadcast primitive backs the fast lane: crash-tolerant ERB
+  /// (default) or Byzantine-tolerant Bracha with equivocation detection
+  /// (DESIGN.md §15).
+  FastLane fast_lane = FastLane::kErb;
 };
 
 template <ConcurrentTokenSpec S>
@@ -154,6 +193,9 @@ class HybridReplicaNode {
     }
 
     friend bool operator==(const FastBatch&, const FastBatch&) = default;
+    /// Total order (requires Op<=>): Bracha keys its per-slot quorum
+    /// maps by payload and canonicalizes ConflictProof branches by it.
+    friend auto operator<=>(const FastBatch&, const FastBatch&) = default;
   };
 
   /// Slow-lane payload: the operation plus the proposer's ERB delivery
@@ -179,11 +221,18 @@ class HybridReplicaNode {
 
   using FastMsg = ErbMsg<FastBatch>;
   using SlowMsg = PaxosMsg<TobCmd<SlowCmd>>;
-  using Mux = LaneMux<FastMsg, SlowMsg, RelayMsg<BatchOp>>;
+  using Proof = ConflictProof<FastBatch>;
+  /// Lanes 0-2 are the ISSUE 5/6 stack; lane 3 is the Bracha fast lane
+  /// (active instead of lane 0 under FastLane::kBracha) and lane 4 the
+  /// aux-class conflict-proof relay — all five over ONE SimNet.
+  using Mux = LaneMux<FastMsg, SlowMsg, RelayMsg<BatchOp>,
+                      BrachaMsg<FastBatch>, ErbMsg<Proof>>;
   using Net = typename Mux::Net;
   using Erb = ErbNode<FastBatch, typename Mux::template LaneT<0>>;
   using Tob = TotalOrderBcast<SlowCmd, typename Mux::template LaneT<1>>;
   using Relay = RelayEndpoint<BatchOp, typename Mux::template LaneT<2>>;
+  using Bracha = BrachaNode<FastBatch, typename Mux::template LaneT<3>>;
+  using ProofRelay = ErbNode<Proof, typename Mux::template LaneT<4>>;
   using Entry = ReplicaCore::Entry;
 
   HybridReplicaNode(Net& net, ProcessId self,
@@ -203,7 +252,16 @@ class HybridReplicaNode {
                on_slow_commit(slot, origin, nonce, c);
              },
              retry_delay),
-        relay_(mux_.template lane<2>(), self, [this] { try_apply(); }) {
+        relay_(mux_.template lane<2>(), self, [this] { try_apply(); }),
+        bracha_(mux_.template lane<3>(), self,
+                /*f=*/(net.num_nodes() - 1) / 3,
+                [this](ProcessId origin, std::uint64_t seq,
+                       const FastBatch& b) { on_fast_deliver(origin, seq, b); },
+                [this](const Proof& proof) { on_conflict(proof); }),
+        proof_relay_(mux_.template lane<4>(), self,
+                     [this](ProcessId, std::uint64_t, const Proof& proof) {
+                       install_proof(proof);
+                     }) {
     TS_EXPECTS(cfg_.erb_batch >= 1);
   }
 
@@ -216,8 +274,11 @@ class HybridReplicaNode {
   /// stream (objects/sync_class.h).
   void submit(ProcessId caller, Op op) {
     core_.note_submission();
-    const bool fast = !cfg_.force_consensus && caller == self_ &&
-                      SyncTraits<S>::classify(caller, op) == SyncClass::kFast;
+    // QuarantineSyncTraits wraps the static classifier: an origin with
+    // an installed ConflictProof has lost fast-lane privileges here.
+    const bool fast =
+        !cfg_.force_consensus && caller == self_ &&
+        quarantine_.classify(caller, op) == SyncClass::kFast;
     if (fast) {
       // The op's latency window opens now; it closes when its BATCH is
       // delivered locally (the fast lane's commit point) — so the cut
@@ -304,6 +365,28 @@ class HybridReplicaNode {
   /// amortization the E19 sweep reports).
   std::size_t fast_batches() const noexcept { return fast_batches_submitted_; }
 
+  // --- Byzantine-tier accounting (DESIGN.md §15) ---
+
+  /// Installed conflict proofs, keyed by (origin, seq).  Canonical form
+  /// means the acceptance check "every correct replica holds the
+  /// identical proof" is literal map equality across replicas.
+  const std::map<std::pair<ProcessId, std::uint64_t>, Proof>&
+  conflict_proofs() const noexcept {
+    return proofs_;
+  }
+  bool is_quarantined(ProcessId origin) const {
+    return quarantine_.is_quarantined(origin);
+  }
+  std::size_t num_quarantined() const {
+    return quarantine_.num_quarantined();
+  }
+  /// Fast batches applied here whose slot had a conflict proof — the
+  /// surviving branches of detected double-spends (one per proof when
+  /// conservation holds).
+  std::size_t equivocation_commits() const noexcept {
+    return equivocation_commits_;
+  }
+
   // --- relay accounting / test hooks ---
 
   RelayMode relay_mode() const noexcept { return cfg_.relay_mode; }
@@ -348,32 +431,55 @@ class HybridReplicaNode {
   static std::uint64_t fast_key(std::uint64_t i) { return i * 2 + 1; }
   static std::uint64_t slow_key(std::uint64_t nonce) { return nonce * 2; }
 
-  /// Size/deadline cut: broadcast the buffered run as one FastBatch.
-  /// ERB delivers our own broadcast SYNCHRONOUSLY inside broadcast()
-  /// (store-and-forward delivers locally before returning), so the
-  /// buffered ops' latency windows — opened at submit — close inside
-  /// this call for the local copy.
+  /// Size/deadline cut: broadcast the buffered run as one FastBatch on
+  /// the configured lane.  The batch counter advances HERE (not at
+  /// delivery): ERB delivers the local copy synchronously inside
+  /// broadcast(), Bracha only behind the 2f+1 READY quorum — counting
+  /// at the cut keeps all_settled() meaning the same thing on both
+  /// lanes ("every own batch reached its commit point").  The buffered
+  /// ops' latency windows still close at local delivery.
   void flush_fast() {
     FastBatch b;
     b.caller = self_;
     b.ops = std::move(fast_buf_);
     fast_buf_.clear();
-    const std::uint64_t seq = erb_.broadcast(std::move(b));
-    TS_ASSERT(seq == fast_batches_submitted_ - 1);  // delivered in-call
+    ++fast_batches_submitted_;
+    const std::uint64_t seq = cfg_.fast_lane == FastLane::kBracha
+                                  ? bracha_.broadcast(std::move(b))
+                                  : erb_.broadcast(std::move(b));
+    TS_ASSERT(seq == fast_batches_submitted_ - 1);
   }
 
   void on_fast_deliver(ProcessId origin, std::uint64_t seq,
                        const FastBatch& b) {
-    TS_ASSERT(seq == delivered_[origin]);  // ERB per-sender FIFO
+    TS_ASSERT(seq == delivered_[origin]);  // per-sender FIFO, both lanes
     ++delivered_[origin];
     if (origin == self_) {
-      ++fast_batches_submitted_;
       for (std::size_t i = 0; i < b.ops.size(); ++i) {
         core_.finish_latency(fast_key(fast_ops_finished_++), net_.now());
       }
     }
     buf_[origin].push_back(b);
     try_apply();  // a parked barrier may now have its frontier
+  }
+
+  /// Local detection: the Bracha lane saw two origin-signed payloads
+  /// for one slot.  Install (first detection wins; the proof is
+  /// canonical so every detector builds the same record) and relay it
+  /// on the aux proof lane — ERB's eager re-broadcast + retransmission
+  /// makes the proof reach every correct replica even when the raw
+  /// equivocation evidence didn't.
+  void on_conflict(const Proof& proof) {
+    if (install_proof(proof)) proof_relay_.broadcast(proof);
+  }
+
+  /// Idempotent proof intake (local detection or proof relay):
+  /// remembers the proof and quarantines the origin.
+  bool install_proof(const Proof& proof) {
+    const auto key = std::pair{proof.origin, proof.seq};
+    if (!proofs_.emplace(key, proof).second) return false;
+    quarantine_.quarantine(proof.origin);
+    return true;
   }
 
   void on_slow_commit(std::uint64_t slot, ProcessId origin,
@@ -430,6 +536,13 @@ class HybridReplicaNode {
           std::min<std::uint64_t>(frontier[o], delivered_[o]);
       while (applied_[o] < upto) {
         FastBatch& b = buf_[o].front();
+        // A batch whose slot carries a ConflictProof is the SURVIVING
+        // branch of a detected double-spend (agreement delivered the
+        // same single branch everywhere) — count it so reports can pin
+        // "exactly one branch committed".
+        if (proofs_.contains(std::pair{o, applied_[o]})) {
+          ++equivocation_commits_;
+        }
         for (Op& op : b.ops) {
           blk.ops.push_back(BatchOp{b.caller, std::move(op)});
         }
@@ -451,6 +564,11 @@ class HybridReplicaNode {
   Erb erb_;
   Tob tob_;
   Relay relay_;
+  Bracha bracha_;
+  ProofRelay proof_relay_;
+  QuarantineSyncTraits<S> quarantine_;
+  std::map<std::pair<ProcessId, std::uint64_t>, Proof> proofs_;
+  std::size_t equivocation_commits_ = 0;
   std::deque<PendingBarrier> barrier_queue_;
   ReplicaCore core_;
   std::vector<Op> fast_buf_;  ///< own fast ops awaiting their cut

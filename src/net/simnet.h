@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -109,6 +110,22 @@ class SimNet {
   }
   void set_link_filter(LinkFilter f) { link_filter_ = std::move(f); }
 
+  /// Byzantine node hook (ISSUE 9): returns the message `node` actually
+  /// puts on the wire toward `to`, or nullopt to send the original
+  /// unmodified.  Checked per destination at send time, BEFORE the
+  /// loss/duplication rolls, so retransmissions re-fork consistently —
+  /// a deterministic forker makes the equivocation itself deterministic.
+  using Forker = std::function<std::optional<Msg>(ProcessId to, const Msg&)>;
+
+  /// Arms `forker` on every send originating at `node` — the simulation
+  /// stand-in for a node whose protocol stack lies on the wire (e.g. an
+  /// equivocating Bracha origin signing two payloads for one slot).  The
+  /// node's own in-process state is untouched: only its outgoing copies
+  /// fork.
+  void set_equivocator(ProcessId node, Forker forker) {
+    equivocators_[node] = std::move(forker);
+  }
+
   /// Overrides the delay distribution of the directed link from->to.
   void set_link_delay(ProcessId from, ProcessId to, std::uint64_t min_delay,
                       std::uint64_t max_delay) {
@@ -161,6 +178,11 @@ class SimNet {
   void send(ProcessId from, ProcessId to, Msg m) {
     TS_EXPECTS(from < num_nodes() && to < num_nodes());
     if (crashed_[from]) return;
+    if (!equivocators_.empty()) {
+      if (auto it = equivocators_.find(from); it != equivocators_.end()) {
+        if (auto forked = it->second(to, m)) m = *std::move(forked);
+      }
+    }
     ++stats_.sent;
     stats_.bytes_sent += wire_size_of(m);
     if (!link_up(from, to)) {
@@ -326,6 +348,7 @@ class SimNet {
   std::vector<TimerHandler> timer_handlers_;
   std::vector<bool> crashed_;
   LinkFilter link_filter_;
+  std::map<ProcessId, Forker> equivocators_;
   std::vector<std::uint32_t> group_of_;  // empty = no partition
   std::map<std::pair<ProcessId, ProcessId>,
            std::pair<std::uint64_t, std::uint64_t>>

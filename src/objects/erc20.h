@@ -21,6 +21,7 @@
 // (debit-then-credit), matching both the relational spec and EIP-20.
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -105,6 +106,9 @@ struct Erc20Op {
   std::string to_string() const;
 
   friend bool operator==(const Erc20Op&, const Erc20Op&) = default;
+  /// Total order so ops (and batches of them) can key quorum maps in
+  /// the Bracha lane and canonicalize ConflictProof branches.
+  friend auto operator<=>(const Erc20Op&, const Erc20Op&) = default;
 };
 
 /// The sequential specification (pure).  Plugs into SeqObject, the sim

@@ -9,6 +9,7 @@
 // destination accounts instead (see core/erc777_consensus.h).
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -77,6 +78,9 @@ struct Erc777Op {
   std::string to_string() const;
 
   friend bool operator==(const Erc777Op&, const Erc777Op&) = default;
+  /// Total order — same role as Erc20Op's: lets FastBatch<Erc777Op> key
+  /// the Bracha lane's quorum maps.
+  friend auto operator<=>(const Erc777Op&, const Erc777Op&) = default;
 };
 
 /// Sequential specification:

@@ -45,6 +45,16 @@ enum class SyncClass : std::uint8_t {
   kConsensus,  ///< CN > 1: must ride a total-order (consensus) slot
 };
 
+/// Which broadcast primitive backs the CN-1 fast lane (DESIGN.md §15).
+/// Both present the same FIFO frontier surface to the hybrid replica;
+/// they differ in fault model: ERB tolerates crashes and loss, Bracha
+/// additionally tolerates f < n/3 LYING nodes and detects equivocation
+/// (the respend defense).
+enum class FastLane : std::uint8_t {
+  kErb,     ///< eager reliable broadcast — crash-stop model
+  kBracha,  ///< Bracha reliable broadcast — Byzantine model
+};
+
 /// Per-spec synchronization traits.  The conservative default routes
 /// every operation through consensus (always sound: the consensus lane
 /// can carry CN = 1 operations, just wastefully).  Specialize per ledger

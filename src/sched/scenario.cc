@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <numeric>
+#include <type_traits>
 #include <utility>
 
 #include "atbcast/at_bcast.h"
@@ -28,6 +29,7 @@ const char* to_string(FaultProfile f) {
     case FaultProfile::kPartitionHeal: return "partition_heal";
     case FaultProfile::kMinorityCrash: return "minority_crash";
     case FaultProfile::kCrashRejoin: return "crash_rejoin";
+    case FaultProfile::kByzantineEquivocate: return "byzantine_equivocate";
   }
   return "?";
 }
@@ -46,6 +48,7 @@ const char* to_string(Workload w) {
     case Workload::kErc20FastlaneStorm: return "erc20_fastlane_storm";
     case Workload::kMixedSyncTiers: return "mixed_sync_tiers";
     case Workload::kErc20ZipfianShards: return "erc20_zipfian_shards";
+    case Workload::kErc20RespendStorm: return "erc20_respend_storm";
   }
   return "?";
 }
@@ -989,11 +992,13 @@ class HybridHarness {
     hcfg.relay_mode = cfg.relay_mode;
     hcfg.erb_batch = cfg.erb_batch;
     hcfg.force_consensus = cfg.hybrid_force_consensus;
+    hcfg.fast_lane = cfg.fast_lane;
     for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
       nodes_.push_back(std::make_unique<Node>(
           net_, p, initial, ExecOptions{.threads = cfg.replay_threads},
           hcfg));
     }
+    if (cfg.num_equivocators > 0) arm_equivocators();
   }
 
   void submit_at(ProcessId p, std::uint64_t t, ProcessId caller,
@@ -1022,6 +1027,20 @@ class HybridHarness {
     for (std::size_t p = 0; p < nodes_.size(); ++p) {
       if (correct_[p]) rep.miss_recoveries += nodes_[p]->relay().miss_recoveries();
     }
+    // Byzantine-tier counters + the proof-agreement audit (DESIGN.md
+    // §15): "every correct replica detects the equivocation" is literal
+    // map equality — same keys, byte-identical canonical proofs.
+    rep.conflict_proofs = nodes_[ref]->conflict_proofs().size();
+    rep.quarantined_origins = nodes_[ref]->num_quarantined();
+    rep.equivocation_commits = nodes_[ref]->equivocation_commits();
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (!correct_[p] || p == ref) continue;
+      if (nodes_[p]->conflict_proofs() != nodes_[ref]->conflict_proofs()) {
+        rep.agreement = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " conflict-proof set diverges");
+      }
+    }
     audit_conservation(rep, nodes_, [&conserve](const Node& n) {
       return conserve(n.engine().ledger().snapshot());
     });
@@ -1029,6 +1048,47 @@ class HybridHarness {
   }
 
  private:
+  /// Network-level equivocation (ISSUE 9): the highest-id replicas run
+  /// HONEST node code, but SimNet forks their outgoing Bracha SENDs —
+  /// exactly one victim receives a conflicting payload for the same
+  /// (origin, seq), the classic same-funds-different-recipient respend.
+  /// The fork shape is deliberate: the original payload still reaches
+  /// the echo quorum through the origin plus the non-victim correct
+  /// replicas, so that branch delivers under every fault profile, while
+  /// the forked branch (at most one echo) can never assemble a quorum —
+  /// detection fires everywhere, delivery never splits.
+  void arm_equivocators() {
+    if constexpr (std::is_same_v<typename Spec::Op, Erc20Op>) {
+      using BMsg = BrachaMsg<typename Node::FastBatch>;
+      using Msg = typename Node::Net::MsgType;
+      const std::size_t n = cfg_.num_replicas;
+      const std::size_t k = std::min(cfg_.num_equivocators, n);
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto e = static_cast<ProcessId>(n - 1 - i);
+        const auto victim = static_cast<ProcessId>((e + 1) % n);
+        const std::uint32_t pct = cfg_.equivocate_pct;
+        net_.set_equivocator(
+            e, [victim, pct, n](ProcessId to,
+                                const Msg& m) -> std::optional<Msg> {
+              if (to != victim) return std::nullopt;
+              const auto* bm = std::get_if<BMsg>(&m);
+              if (!bm || bm->type != BMsg::Type::kSend) return std::nullopt;
+              // Deterministic per-seq gate (no Rng: the fork must not
+              // perturb the primary schedule's random streams).
+              if ((bm->seq * 37 + 11) % 100 >= pct) return std::nullopt;
+              if (bm->payload.ops.empty() ||
+                  bm->payload.ops.front().kind != Erc20Op::Kind::kTransfer) {
+                return std::nullopt;
+              }
+              BMsg fork = *bm;
+              Erc20Op& op = fork.payload.ops.front();
+              op.dst = static_cast<AccountId>((op.dst + 1) % n);
+              return Msg(std::in_place_type<BMsg>, std::move(fork));
+            });
+      }
+    }
+  }
+
   ScenarioConfig cfg_;
   typename Node::Net net_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -1111,6 +1171,66 @@ ScenarioReport run_mixed_sync_tiers(const ScenarioConfig& cfg) {
     }
   }
   h.submit_at(0, 30 + 19 * cfg.intensity, 0, Erc20Op::total_supply());
+
+  const Amount expected = kInitial * n;
+  return h.finish([expected](const Erc20State& q)
+                      -> std::optional<std::string> {
+    if (q.total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(q.total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
+// ERC20 respend storm (ISSUE 9): the fastlane-storm script on the
+// Byzantine fast lane, plus one designated respender.  Replicas
+// 0..n-2 stream the usual owner-signed transfers; replica n-1 submits
+// exactly ONE transfer at t = 4.  The submission script is deliberately
+// IDENTICAL whether or not equivocators are armed: with
+// num_equivocators >= 1 the harness forks the respender's SEND in
+// flight (one victim sees the same funds aimed at a different
+// recipient), Bracha's quorum intersection still delivers only the
+// majority branch, and the run's committed history is therefore
+// byte-identical to the unforked run — only the proof ledger
+// (conflict_proofs / quarantined_origins / equivocation_commits)
+// distinguishes them, which is exactly the acceptance criterion.  All
+// submissions land before t = 45 so the delivered set (and the
+// terminal-epoch history) is invariant across fault profiles too, the
+// fastlane-storm property the Byzantine matrix re-asserts.
+ScenarioReport run_erc20_respend_storm(const ScenarioConfig& rcfg) {
+  // The pure-Byzantine profile IS this workload with clean links: it
+  // implies the Bracha lane and (at least) one armed equivocator, so a
+  // bare {kErc20RespendStorm, kByzantineEquivocate} config runs the
+  // canonical detection scenario without further knobs.
+  ScenarioConfig cfg = rcfg;
+  if (cfg.fault == FaultProfile::kByzantineEquivocate) {
+    cfg.fast_lane = FastLane::kBracha;
+    if (cfg.num_equivocators == 0) cfg.num_equivocators = 1;
+  }
+  const std::size_t n = cfg.num_replicas;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(n, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         n, std::vector<Amount>(n, 0)));
+  HybridHarness<Erc20LedgerSpec> h(cfg, initial);
+
+  const std::size_t per_replica = 3 * cfg.intensity;
+  for (ProcessId p = 0; p + 1 < n; ++p) {
+    for (std::size_t j = 0; j < per_replica; ++j) {
+      const std::uint64_t t = 4 + p + 2 * j;  // all < 45 for default sizes
+      h.submit_at(p, t, p,
+                  Erc20Op::transfer(
+                      static_cast<AccountId>((p + 1 + j) % n),
+                      1 + static_cast<Amount>(j % 2)));
+    }
+  }
+  // The respender's single intake slot — the (origin, seq) the forker
+  // double-spends.  One op keeps the equivocation window minimal and
+  // the history a pure function of the delivered set under every
+  // profile (the fork changes payload CONTENT toward one victim, never
+  // message count or size, so the primary schedule is untouched).
+  const auto resp = static_cast<ProcessId>(n - 1);
+  h.submit_at(resp, 4, resp,
+              Erc20Op::transfer(static_cast<AccountId>(0), 2));
 
   const Amount expected = kInitial * n;
   return h.finish([expected](const Erc20State& q)
@@ -1344,6 +1464,15 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
   TS_EXPECTS(cfg.fault != FaultProfile::kCrashRejoin ||
              cfg.workload == Workload::kErc20BlockStorm ||
              cfg.workload == Workload::kMixedBlockEscalate);
+  // Equivocators exist only where a defense does: the respend storm on
+  // the Bracha fast lane (ERB trusts per-sender FIFO by design, and no
+  // other workload has a fast lane to fork).  The pure-Byzantine
+  // profile is the same workload with clean links.
+  TS_EXPECTS(cfg.num_equivocators == 0 ||
+             (cfg.workload == Workload::kErc20RespendStorm &&
+              cfg.fast_lane == FastLane::kBracha));
+  TS_EXPECTS(cfg.fault != FaultProfile::kByzantineEquivocate ||
+             cfg.workload == Workload::kErc20RespendStorm);
   switch (cfg.workload) {
     case Workload::kErc20TransferStorm:
       return run_erc20_transfer_storm(cfg);
@@ -1369,6 +1498,8 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_mixed_sync_tiers(cfg);
     case Workload::kErc20ZipfianShards:
       return run_erc20_zipfian_shards(cfg);
+    case Workload::kErc20RespendStorm:
+      return run_erc20_respend_storm(cfg);
   }
   TS_EXPECTS(false);
   return {};

@@ -37,6 +37,7 @@
 #include "net/compact_relay.h"
 #include "net/replica.h"
 #include "net/simnet.h"
+#include "objects/sync_class.h"
 #include "objects/token_race.h"
 
 namespace tokensync {
@@ -61,6 +62,19 @@ enum class FaultProfile : std::uint8_t {
   /// all_fault_profiles(): the matrix tests iterate that list over
   /// every workload, and only the block runtime can rejoin.
   kCrashRejoin,
+  /// ISSUE 9 (Byzantine tier): links are RELIABLE, but
+  /// `num_equivocators` replicas fork their Bracha fast-lane SENDs at
+  /// the network layer (SimNet::set_equivocator) — one victim receives
+  /// a conflicting payload for the same (origin, seq).  The respend
+  /// defense (DESIGN.md §15) must detect it, assemble identical
+  /// ConflictProofs everywhere, quarantine the origin, and commit at
+  /// most one branch.  kErc20RespendStorm only; not in
+  /// all_fault_profiles() (the other workloads have no Bracha lane to
+  /// equivocate on).  Note the equivocator knobs ALSO compose with the
+  /// crash/loss profiles — the respend-storm tests run
+  /// num_equivocators = 1 under every profile in all_fault_profiles();
+  /// this profile is the clean-links "pure Byzantine" point.
+  kByzantineEquivocate,
 };
 
 /// The named workloads.  The first five (ISSUE 2) are distributed: a
@@ -113,6 +127,15 @@ enum class Workload : std::uint8_t {
   /// plain block-pipeline run (all intra, no migrations), which is how
   /// the workload rides the standard fault matrix.
   kErc20ZipfianShards,
+  /// Byzantine tier (ISSUE 9): the fastlane-storm script on the
+  /// Bracha (BRB) fast lane, plus `num_equivocators` replicas whose
+  /// single extra transfer is FORKED in flight — same (origin, seq),
+  /// different recipient — the classic respend.  Zero consensus slots
+  /// from the workload itself; the audit additionally demands that
+  /// every correct replica holds the byte-identical ConflictProof set,
+  /// quarantines the same origins, and commits at most one branch of
+  /// each conflicting pair (conservation then holds automatically).
+  kErc20RespendStorm,
 };
 
 const char* to_string(FaultProfile f);
@@ -174,6 +197,24 @@ struct ScenarioConfig {
   std::uint32_t num_groups = 1;   ///< replica groups the accounts split over
   std::uint32_t cross_pct = 30;   ///< % of transfers that cross groups (G>1)
   std::size_t shard_accounts = 16;  ///< account-space size for the workload
+
+  // Byzantine-tier knobs (ISSUE 9; hybrid workloads — see
+  // net/hybrid_replica.h and DESIGN.md §15).
+  /// Which broadcast primitive carries the CN = 1 fast lane: the
+  /// crash-tolerant ERB (default, ISSUE 5) or Bracha BRB, which
+  /// tolerates f = floor((n-1)/3) BYZANTINE replicas at ~3x the
+  /// message bill.  The committed history of a crash-only run is
+  /// INVARIANT to this knob (lane-invariance, E24); only Bracha
+  /// additionally detects equivocation.
+  FastLane fast_lane = FastLane::kErb;
+  /// kErc20RespendStorm + kBracha only: how many replicas (the
+  /// HIGHEST ids, so they overlap kMinorityCrash's crash set and the
+  /// Byzantine + crashed count stays within f) fork their one extra
+  /// fast-lane SEND at the network layer.
+  std::size_t num_equivocators = 0;
+  /// Probability gate (percent) on the fork: an equivocator's eligible
+  /// SEND is forked iff a per-seq deterministic hash lands below this.
+  std::uint32_t equivocate_pct = 100;
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
@@ -247,6 +288,15 @@ struct ScenarioReport {
   std::size_t cross_shard_ops = 0;      ///< 2PC transfers fully committed
   std::size_t cross_shard_aborts = 0;   ///< 2PC transfers refunded (abort path)
   std::size_t migrations = 0;           ///< account migrations retired
+
+  // Byzantine counters (hybrid workloads on the Bracha lane; 0
+  // elsewhere).  All three are read off the REFERENCE replica after the
+  // cross-replica proof-agreement audit, so a nonzero count certifies
+  // every correct replica holds the same proofs.
+  std::size_t conflict_proofs = 0;      ///< distinct equivocations proven
+  std::size_t quarantined_origins = 0;  ///< origins stripped of the fast lane
+  std::size_t equivocation_commits = 0; ///< proven-conflicting slots committed
+                                        ///< (exactly one branch each)
 
   bool agreement = false;
   bool conservation = false;

@@ -109,7 +109,7 @@ struct BrachaCluster {
 
 TEST(Bracha, HonestBroadcastDeliversEverywhere) {
   BrachaCluster c(4, 1, NetConfig{.seed = 2});
-  c.nodes[0]->broadcast(0, Note{77});
+  c.nodes[0]->broadcast(Note{77});
   c.net.run(500000);
   for (ProcessId p = 0; p < 4; ++p) {
     ASSERT_EQ(c.delivered[p].size(), 1u) << "node " << p;
@@ -126,9 +126,12 @@ TEST(Bracha, EquivocatingSenderCannotSplitDelivery) {
     using M = BrachaMsg<Note>;
     // Hand-crafted equivocation (bypassing the node API, as a Byzantine
     // sender would).
-    c.net.send(0, 1, M{M::Type::kSend, 0, 0, Note{1}});
-    c.net.send(0, 2, M{M::Type::kSend, 0, 0, Note{2}});
-    c.net.send(0, 3, M{M::Type::kSend, 0, 0, Note{1}});
+    c.net.send(0, 1, M{.type = M::Type::kSend, .origin = 0, .seq = 0,
+                       .payload = Note{1}});
+    c.net.send(0, 2, M{.type = M::Type::kSend, .origin = 0, .seq = 0,
+                       .payload = Note{2}});
+    c.net.send(0, 3, M{.type = M::Type::kSend, .origin = 0, .seq = 0,
+                       .payload = Note{1}});
     c.net.run(500000);
 
     std::optional<std::uint64_t> value;
@@ -145,8 +148,10 @@ TEST(Bracha, NonOriginCannotForgeASend) {
   BrachaCluster c(4, 1, NetConfig{.seed = 9});
   using M = BrachaMsg<Note>;
   // Node 2 pretends origin 0 sent value 9.
-  c.net.send(2, 1, M{M::Type::kSend, 0, 0, Note{9}});
-  c.net.send(2, 3, M{M::Type::kSend, 0, 0, Note{9}});
+  c.net.send(2, 1, M{.type = M::Type::kSend, .origin = 0, .seq = 0,
+                     .payload = Note{9}});
+  c.net.send(2, 3, M{.type = M::Type::kSend, .origin = 0, .seq = 0,
+                     .payload = Note{9}});
   c.net.run(500000);
   for (ProcessId p = 0; p < 4; ++p) {
     EXPECT_TRUE(c.delivered[p].empty()) << "node " << p;
@@ -159,7 +164,7 @@ TEST(Bracha, ReadyAmplificationCompletesLateNodes) {
   c.net.set_link_filter([](ProcessId from, ProcessId to, std::uint64_t) {
     return !(from == 0 && to == 3);  // origin cut off from node 3
   });
-  c.nodes[0]->broadcast(0, Note{55});
+  c.nodes[0]->broadcast(Note{55});
   c.net.run(500000);
   ASSERT_EQ(c.delivered[3].size(), 1u);
   EXPECT_EQ(c.delivered[3][0].second, 55u);

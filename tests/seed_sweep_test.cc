@@ -233,6 +233,79 @@ void sweep_group_axis(FaultProfile f) {
   }
 }
 
+// --- The Byzantine axis (ISSUE 9): equivocators ∈ {0, 1} ------------------
+//
+// The erc20_respend_storm on the Bracha fast lane, swept over seeds ×
+// equivocator counts.  Three properties per seed: thread invariance
+// {1, 2, 8} and run-twice reproducibility per cell (the base sweep's
+// contract), conflict accounting exact (proofs == armed equivocators —
+// detection never under- or over-fires, at any seed), and the respend-
+// defense identity: the committed history with the equivocator armed is
+// byte-identical to the honest run.  The fork only redirects payload
+// bytes toward one victim (majority branch keeps the only reachable
+// echo quorum) and proof gossip is auxiliary-class, so arming the
+// adversary must change PROOFS, never the history — across every swept
+// seed and profile.
+void sweep_byzantine_axis(FaultProfile f) {
+  const std::size_t n = sweep_n();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = 1 + 37 * i;
+    std::string err;
+    std::vector<Cell> by_eq;
+    for (const std::size_t eq : {0u, 1u}) {
+      ScenarioConfig base;
+      base.workload = Workload::kErc20RespendStorm;
+      base.fault = f;
+      base.seed = seed;
+      base.num_replicas = 4;
+      base.intensity = 3;
+      base.fast_lane = FastLane::kBracha;
+      base.num_equivocators = eq;
+
+      const Cell one = run_cell(base, 1, RelayMode::kFull, &err);
+      ASSERT_TRUE(err.empty()) << err;
+      EXPECT_FALSE(one.history.empty()) << "seed " << seed << " eq " << eq;
+
+      // Conflict accounting: exactly as many proofs (and quarantines)
+      // as armed equivocators, on every swept seed.
+      ScenarioConfig probe = base;
+      probe.replay_threads = 1;
+      const ScenarioReport rep = run_scenario(probe);
+      EXPECT_EQ(rep.conflict_proofs, eq) << "seed " << seed;
+      EXPECT_EQ(rep.quarantined_origins, eq) << "seed " << seed;
+      EXPECT_EQ(rep.slots, 0u) << "seed " << seed << " eq " << eq;
+
+      for (const std::size_t threads : {2u, 8u}) {
+        const Cell t = run_cell(base, threads, RelayMode::kFull, &err);
+        ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(one.history, t.history)
+            << "seed " << seed << " eq " << eq << " threads " << threads;
+      }
+
+      const Cell again = run_cell(base, 1, RelayMode::kFull, &err);
+      ASSERT_TRUE(err.empty()) << err;
+      EXPECT_EQ(one.history, again.history) << "seed " << seed << " eq " << eq;
+      EXPECT_EQ(one.digest, again.digest) << "seed " << seed << " eq " << eq;
+      by_eq.push_back(one);
+    }
+    // The respend-defense identity: adversary armed vs. not.
+    EXPECT_EQ(by_eq[0].history, by_eq[1].history) << "seed " << seed;
+    EXPECT_EQ(by_eq[0].digest, by_eq[1].digest) << "seed " << seed;
+  }
+}
+
+TEST(SeedSweep, ByzantineAxisFaultNone) {
+  sweep_byzantine_axis(FaultProfile::kNone);
+}
+
+TEST(SeedSweep, ByzantineAxisLossyDup) {
+  sweep_byzantine_axis(FaultProfile::kLossyDup);
+}
+
+TEST(SeedSweep, ByzantineAxisPartitionHeal) {
+  sweep_byzantine_axis(FaultProfile::kPartitionHeal);
+}
+
 TEST(SeedSweep, GroupAxisFaultNone) { sweep_group_axis(FaultProfile::kNone); }
 
 TEST(SeedSweep, GroupAxisLossyDup) {
