@@ -65,8 +65,11 @@ def rows_for(path):
         # bytes and kGetOps recovery count), the recovery counters
         # (bench_recovery: snapshot/prune/catch-up accounting), and the
         # sharding counters (bench_sharding: per-group consensus slots
-        # and the 2PC/migration protocol volume), and the Byzantine
-        # counters (bench_byzantine: what the respend defense caught).
+        # and the 2PC/migration protocol volume), the Byzantine
+        # counters (bench_byzantine: what the respend defense caught),
+        # and the multi-proposer counters (bench_multiproposer:
+        # sub-block coverage per consensus slot and the racing-proposer
+        # references the dedup guard dropped).
         for key in ("waves", "escalated", "parallelism", "blocks",
                     "waves_per_block", "slots", "ops_per_slot",
                     "commits_per_ktime", "consensus_slots",
@@ -77,7 +80,8 @@ def rows_for(path):
                     "retained_log_bytes", "groups", "group_slots_max",
                     "cross_ops", "cross_aborts", "migrations",
                     "conflict_proofs", "quarantined_origins",
-                    "equivocation_commits"):
+                    "equivocation_commits", "subblocks_per_slot",
+                    "dup_refs_dropped"):
             if key in b:
                 extras.append(f"{key}={b[key]:.6g}")
         rows.append((os.path.basename(path),

@@ -115,6 +115,19 @@ class TotalOrderBcast {
         retry_delay);
   }
 
+  /// Reference-proposal support (DESIGN.md §16): invoked on a pending
+  /// payload immediately before each (re-)proposal, so a proposer can
+  /// refresh the CONTENT it offers — e.g. drop sub-block references
+  /// that committed since the last attempt and add newly cut ones.
+  /// Safe by construction: PaxosEngine::propose keeps the FIRST value
+  /// offered per instance (a refresh only changes what NEW instances
+  /// see), and delivery dedups by (origin, nonce), which a refresh
+  /// never touches.  Callers that leave this unset get the classic
+  /// frozen-payload behavior, byte for byte.
+  void set_refresh(std::function<void(Payload&)> refresh) {
+    refresh_ = std::move(refresh);
+  }
+
   /// Queues `p` for total-order delivery; returns its submission nonce.
   /// The node keeps proposing until the payload lands in some slot.
   std::uint64_t broadcast(Payload p) {
@@ -219,10 +232,14 @@ class TotalOrderBcast {
   void pump() {
     std::uint64_t slot = next_deliver_;
     std::size_t launched = 0;
-    for (const Cmd& c : pending_) {
+    for (Cmd& c : pending_) {
       if (launched == window_) break;
       if (landed_.contains(c.nonce)) continue;  // decided, awaiting delivery
       while (decided_.contains(slot)) ++slot;
+      // Refresh before offering: the proposal an instance FIRST sees is
+      // what it keeps, so the refresh must run before propose(), not
+      // after a lost duel (set_refresh).
+      if (refresh_) refresh_(c.payload);
       paxos_->propose(slot, c);
       ++slot;
       ++launched;
@@ -283,6 +300,7 @@ class TotalOrderBcast {
   Net& net_;
   ProcessId self_;
   Deliver deliver_;
+  std::function<void(Payload&)> refresh_;  // set_refresh (may be empty)
   std::size_t window_ = 1;           // pipelining depth (file comment)
   std::vector<ProcessId> everyone_;  // the constant acceptor group
   std::unique_ptr<PaxosEngine<Cmd, Net>> paxos_;

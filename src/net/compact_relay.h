@@ -25,7 +25,10 @@
 // payload), and keeps retrying that until resolved.  On fair-lossy links
 // retransmission terminates; profiles that crash replicas do not also
 // drop messages (sched/scenario.cc), so the announcing proposer's store
-// — or any peer that already reconstructed — can always answer.
+// — or any peer that already reconstructed — can always answer.  The
+// retry loop itself (rotation, fallback, timer) is the shared
+// RecoverOnMiss helper (net/recover_on_miss.h) — the multi-proposer
+// sub-block exchange runs the identical loop over its own enums.
 //
 // Scheduling isolation: RelayMsg is auxiliary-class (is_aux_wire), so
 // every announcement, request, reply and retry timer draws from SimNet's
@@ -39,7 +42,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -47,6 +49,7 @@
 #include "common/error.h"
 #include "common/ids.h"
 #include "common/wire.h"
+#include "net/recover_on_miss.h"
 
 namespace tokensync {
 
@@ -100,11 +103,23 @@ class RelayEndpoint {
   RelayEndpoint(NetT& net, ProcessId self, OnGrow on_grow,
                 std::uint64_t retry_delay = 40, int fallback_after = 3)
       : net_(net), self_(self), on_grow_(std::move(on_grow)),
-        retry_delay_(retry_delay), fallback_after_(fallback_after) {
+        recover_(net, self,
+                 /*have=*/[this](OpId id) { return store_.contains(id); },
+                 /*send=*/
+                 [this](ProcessId target, std::uint64_t block_id,
+                        const std::vector<OpId>& ids) {
+                   Msg m;
+                   m.type = Msg::Type::kGetOps;
+                   m.block_id = block_id;
+                   m.ids = ids;
+                   net_.send(self_, target, m);
+                 },
+                 retry_delay, fallback_after) {
     net_.set_handler(self_, [this](ProcessId from, const Msg& m) {
       on_message(from, m);
     });
-    net_.set_timer_handler(self_, [this](std::uint64_t) { on_timer(); });
+    net_.set_timer_handler(self_,
+                           [this](std::uint64_t) { recover_.on_timer(); });
   }
 
   /// Proposer intake: remember the ops locally (to serve kGetOps — and
@@ -132,41 +147,31 @@ class RelayEndpoint {
   /// flight — the retry timer drives subsequent attempts.
   void fetch(std::uint64_t block_id, ProcessId proposer,
              std::vector<OpId> missing, std::vector<OpId> all_ids) {
-    const auto [it, fresh] = fetches_.try_emplace(block_id);
-    if (!fresh) return;
-    Fetch& f = it->second;
-    f.proposer = proposer;
-    f.missing = std::move(missing);
-    f.all = std::move(all_ids);
-    ++miss_recoveries_;
-    request(f, block_id);
-    arm_timer();
+    recover_.fetch(block_id, proposer, std::move(missing),
+                   std::move(all_ids));
   }
 
   /// The node reconstructed `block_id`; stop retrying.
-  void cancel(std::uint64_t block_id) { fetches_.erase(block_id); }
+  void cancel(std::uint64_t block_id) { recover_.cancel(block_id); }
 
-  bool idle() const noexcept { return fetches_.empty(); }
+  bool idle() const noexcept { return recover_.idle(); }
 
   /// Blocks that entered recover-on-miss (at least one kGetOps sent).
-  std::uint64_t miss_recoveries() const noexcept { return miss_recoveries_; }
+  std::uint64_t miss_recoveries() const noexcept {
+    return recover_.miss_recoveries();
+  }
   /// kGetOps requests sent (recoveries × retries).
-  std::uint64_t get_ops_sent() const noexcept { return get_ops_sent_; }
+  std::uint64_t get_ops_sent() const noexcept {
+    return recover_.requests_sent();
+  }
   /// Recoveries that escalated to the short-block (full id list) request.
-  std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+  std::uint64_t fallbacks() const noexcept { return recover_.fallbacks(); }
 
   /// Test hook: with announcements off, every peer misses every op and
   /// ALL reconstruction goes through the kGetOps round-trip.
   void set_announce_enabled(bool enabled) { announce_enabled_ = enabled; }
 
  private:
-  struct Fetch {
-    ProcessId proposer = 0;
-    std::vector<OpId> missing;
-    std::vector<OpId> all;
-    int attempts = 0;
-  };
-
   void on_message(ProcessId from, const Msg& m) {
     switch (m.type) {
       case Msg::Type::kAnnounce:
@@ -191,57 +196,12 @@ class RelayEndpoint {
     }
   }
 
-  void request(Fetch& f, std::uint64_t block_id) {
-    std::erase_if(f.missing,
-                  [this](OpId id) { return store_.contains(id); });
-    if (f.missing.empty()) return;  // on_grow resolves it; node cancels
-    // Target rotation: the proposer first (it certainly has the ops),
-    // then round-robin over the remaining peers (anyone that already
-    // reconstructed can serve), skipping self and crashed nodes.
-    const std::size_t n = net_.num_nodes();
-    ProcessId target = static_cast<ProcessId>(
-        (f.proposer + static_cast<std::size_t>(f.attempts)) % n);
-    for (std::size_t hop = 0;
-         hop < n && (target == self_ || net_.is_crashed(target)); ++hop) {
-      target = static_cast<ProcessId>((target + 1) % n);
-    }
-    if (target == self_) return;  // nobody left to ask
-    Msg m;
-    m.type = Msg::Type::kGetOps;
-    m.block_id = block_id;
-    // Short-block fallback: after the retry bound, request the block's
-    // ENTIRE id list so one reply restores every payload at once.
-    if (f.attempts == fallback_after_) ++fallbacks_;
-    m.ids = (f.attempts >= fallback_after_) ? f.all : f.missing;
-    ++f.attempts;
-    ++get_ops_sent_;
-    net_.send(self_, target, m);
-  }
-
-  void arm_timer() {
-    if (timer_armed_) return;
-    timer_armed_ = true;
-    net_.set_timer(self_, retry_delay_, 0);
-  }
-
-  void on_timer() {
-    timer_armed_ = false;
-    for (auto& [block_id, f] : fetches_) request(f, block_id);
-    if (!fetches_.empty()) arm_timer();
-  }
-
   NetT& net_;
   ProcessId self_;
   OnGrow on_grow_;
-  std::uint64_t retry_delay_;
-  int fallback_after_;
   bool announce_enabled_ = true;
-  bool timer_armed_ = false;
   std::unordered_map<OpId, B> store_;
-  std::map<std::uint64_t, Fetch> fetches_;  // ordered: deterministic retry
-  std::uint64_t miss_recoveries_ = 0;
-  std::uint64_t get_ops_sent_ = 0;
-  std::uint64_t fallbacks_ = 0;
+  RecoverOnMiss<NetT> recover_;  // after store_: its Have reads store_
 };
 
 }  // namespace tokensync

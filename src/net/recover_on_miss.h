@@ -1,0 +1,150 @@
+// Recover-on-miss: the proposer-first bounded-retry fetch loop shared
+// by the compact relay (DESIGN.md §12) and the multi-proposer sub-block
+// exchange (DESIGN.md §16).
+//
+// Both protocols face the same problem: consensus committed a thin
+// reference (op ids, sub-block refs) whose payload this replica may not
+// hold yet, because the eager dissemination that normally precedes
+// commit was lost to drops, partitions, or a crash.  Both heal it the
+// same way — an explicit request round-trip, retried on a timer:
+//
+//   * ask the value's PROPOSER first (it certainly holds the payload it
+//     referenced), then rotate round-robin over the remaining peers
+//     (anyone that already reconstructed can serve), skipping self and
+//     crashed nodes;
+//   * after `fallback_after` unanswered attempts, escalate from the
+//     missing subset to the reference's ENTIRE id list, so one reply
+//     restores everything at once (the short-block fallback);
+//   * keep every in-flight fetch on one shared retry timer until the
+//     owner cancels it (the ordered map makes the retry sweep
+//     deterministic).
+//
+// They differed only in message enums, so the loop lives here once and
+// the owners inject the two protocol-specific pieces: `Have` (is this
+// id already in the local store?) and `Send` (emit the protocol's
+// GET-style request to a chosen peer).  The owner keeps receiving its
+// lane's timer events and forwards them to on_timer() — the helper
+// arms the timer through the same lane facade it was handed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tokensync {
+
+/// One replica's bounded-retry fetch tracker.  `NetT` is the owning
+/// protocol's lane facade (LaneNet over the shared SimNet); the helper
+/// uses it only for num_nodes/is_crashed/set_timer — requests
+/// themselves go out through the injected `Send`.
+template <typename NetT>
+class RecoverOnMiss {
+ public:
+  /// True iff the local store already holds `id` (so it can be dropped
+  /// from a fetch's missing set before requesting).
+  using Have = std::function<bool(OpId)>;
+  /// Emit the owning protocol's request for `ids` of fetch `key` to
+  /// peer `target` (kGetOps for the relay, kGetSubs for sub-blocks).
+  using Send = std::function<void(ProcessId target, std::uint64_t key,
+                                  const std::vector<OpId>& ids)>;
+
+  RecoverOnMiss(NetT& net, ProcessId self, Have have, Send send,
+                std::uint64_t retry_delay = 40, int fallback_after = 3)
+      : net_(net), self_(self), have_(std::move(have)),
+        send_(std::move(send)), retry_delay_(retry_delay),
+        fallback_after_(fallback_after) {}
+
+  /// Starts (or refreshes) recovery of `key`: `missing` are the ids
+  /// this replica lacks, `all` the reference's full id list (the
+  /// short fallback request).  Idempotent while recovery is in flight
+  /// — the retry timer drives subsequent attempts.
+  void fetch(std::uint64_t key, ProcessId proposer,
+             std::vector<OpId> missing, std::vector<OpId> all) {
+    const auto [it, fresh] = fetches_.try_emplace(key);
+    if (!fresh) return;
+    Fetch& f = it->second;
+    f.proposer = proposer;
+    f.missing = std::move(missing);
+    f.all = std::move(all);
+    ++miss_recoveries_;
+    request(f, key);
+    arm_timer();
+  }
+
+  /// The owner resolved `key`; stop retrying it.
+  void cancel(std::uint64_t key) { fetches_.erase(key); }
+
+  bool idle() const noexcept { return fetches_.empty(); }
+
+  /// References that entered recover-on-miss (≥ one request sent).
+  std::uint64_t miss_recoveries() const noexcept { return miss_recoveries_; }
+  /// Requests sent (recoveries × retries).
+  std::uint64_t requests_sent() const noexcept { return requests_sent_; }
+  /// Recoveries that escalated to the full-id-list fallback request.
+  std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+
+  /// The owner's lane timer fired: re-drive every in-flight fetch and
+  /// re-arm while any remain.
+  void on_timer() {
+    timer_armed_ = false;
+    for (auto& [key, f] : fetches_) request(f, key);
+    if (!fetches_.empty()) arm_timer();
+  }
+
+ private:
+  struct Fetch {
+    ProcessId proposer = 0;
+    std::vector<OpId> missing;
+    std::vector<OpId> all;
+    int attempts = 0;
+  };
+
+  void request(Fetch& f, std::uint64_t key) {
+    std::erase_if(f.missing, [this](OpId id) { return have_(id); });
+    if (f.missing.empty()) return;  // the owner's grow path cancels it
+    // Target rotation: the proposer first (it certainly has the
+    // payload), then round-robin over the remaining peers, skipping
+    // self and crashed nodes.
+    const std::size_t n = net_.num_nodes();
+    ProcessId target = static_cast<ProcessId>(
+        (f.proposer + static_cast<std::size_t>(f.attempts)) % n);
+    for (std::size_t hop = 0;
+         hop < n && (target == self_ || net_.is_crashed(target)); ++hop) {
+      target = static_cast<ProcessId>((target + 1) % n);
+    }
+    if (target == self_) return;  // nobody left to ask
+    // Short fallback: after the retry bound, request the ENTIRE id
+    // list so one reply restores every payload at once.
+    if (f.attempts == fallback_after_) ++fallbacks_;
+    const std::vector<OpId>& ids =
+        (f.attempts >= fallback_after_) ? f.all : f.missing;
+    ++f.attempts;
+    ++requests_sent_;
+    send_(target, key, ids);
+  }
+
+  void arm_timer() {
+    if (timer_armed_) return;
+    timer_armed_ = true;
+    net_.set_timer(self_, retry_delay_, 0);
+  }
+
+  NetT& net_;
+  ProcessId self_;
+  Have have_;
+  Send send_;
+  std::uint64_t retry_delay_;
+  int fallback_after_;
+  bool timer_armed_ = false;
+  std::map<std::uint64_t, Fetch> fetches_;  // ordered: deterministic retry
+  std::uint64_t miss_recoveries_ = 0;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace tokensync

@@ -14,6 +14,7 @@
 #include "exec/exec_specs.h"
 #include "net/block_replica.h"
 #include "net/hybrid_replica.h"
+#include "net/multi_proposer.h"
 #include "net/shard_group.h"
 #include "objects/erc20.h"
 #include "objects/erc721.h"
@@ -49,6 +50,8 @@ const char* to_string(Workload w) {
     case Workload::kMixedSyncTiers: return "mixed_sync_tiers";
     case Workload::kErc20ZipfianShards: return "erc20_zipfian_shards";
     case Workload::kErc20RespendStorm: return "erc20_respend_storm";
+    case Workload::kErc20MultiproposerStorm:
+      return "erc20_multiproposer_storm";
   }
   return "?";
 }
@@ -906,6 +909,144 @@ ScenarioReport run_erc20_block_storm(const ScenarioConfig& cfg) {
   });
 }
 
+// -------------------------------------------------------------------------
+// Multi-proposer workload (ISSUE 10): the leaderless pipeline
+// (net/multi_proposer.h).  Every replica cuts and publishes sub-blocks
+// concurrently; consensus orders thin reference vectors; commits flatten
+// the referenced DAG cut deterministically.  The script submits a FIXED
+// total op count round-robin across the num_proposers proposer replicas
+// at a fixed PER-REPLICA cadence, so raising P shrinks the intake span
+// (and with it the covering-proposal slot count) ~1/P — the E26 axis.
+// -------------------------------------------------------------------------
+
+class MultiProposerHarness {
+ public:
+  using Node = MultiProposerNode<Erc20LedgerSpec>;
+
+  MultiProposerHarness(const ScenarioConfig& cfg, const Erc20State& initial)
+      : cfg_(cfg),
+        net_(cfg.num_replicas, make_net_config(cfg.fault, cfg.seed)),
+        correct_(correct_mask(cfg.num_replicas, cfg.fault)) {
+    arm_fault_schedule(net_, cfg.fault);
+    MultiProposerConfig mcfg;
+    mcfg.num_proposers = cfg.num_proposers;
+    mcfg.subblock_max_ops = cfg.subblock_max_ops;
+    mcfg.deadline = cfg.block_deadline;
+    const ExecOptions eopts{.threads = cfg.replay_threads};
+    for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
+      nodes_.push_back(
+          std::make_unique<Node>(net_, p, initial, mcfg, eopts));
+    }
+  }
+
+  void submit_at(ProcessId p, std::uint64_t t, ProcessId caller,
+                 Erc20Op op) {
+    Node* node = nodes_[p].get();
+    net_.call_at(p, t, [node, caller, op] { node->submit(caller, op); });
+    last_submit_ = std::max(last_submit_, t);
+  }
+
+  ScenarioReport finish(
+      const std::function<std::optional<std::string>(const Erc20State&)>&
+          conserve) {
+    const std::uint64_t period =
+        std::max<std::uint64_t>(cfg_.block_deadline, 1);
+    const std::uint64_t horizon = last_submit_ + 2 * period;
+    for (ProcessId p = 0; p < nodes_.size(); ++p) {
+      for (std::uint64_t t = period; t <= horizon; t += period) {
+        net_.call_at(p, t, [this, p] { nodes_[p]->on_deadline(); });
+      }
+    }
+    drain_cluster(net_, nodes_, correct_);
+    const std::size_t ref = reference_replica(correct_);
+    ScenarioReport rep = cluster_report(cfg_, net_, nodes_, correct_,
+                                        nodes_[ref]->ops_committed());
+    rep.slots = nodes_[ref]->slots_committed();
+    rep.proposal_bytes = nodes_[ref]->proposal_bytes();
+    if (rep.slots > 0) {
+      rep.subblocks_per_slot =
+          static_cast<double>(nodes_[ref]->subblocks_applied()) /
+          static_cast<double>(rep.slots);
+    }
+    rep.dup_refs_dropped = nodes_[ref]->dup_refs_dropped();
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (!correct_[p]) continue;
+      rep.miss_recoveries += nodes_[p]->exchange().miss_recoveries();
+      // The dedup counters are a pure function of the committed
+      // reference sequence, so agreement extends to them.
+      if (nodes_[p]->dup_refs_dropped() != rep.dup_refs_dropped) {
+        rep.agreement = false;
+        rep.violations.push_back("replica " + std::to_string(p) +
+                                 " dup_refs_dropped diverges");
+      }
+    }
+    audit_conservation(rep, nodes_, [&conserve](const Node& n) {
+      return conserve(n.engine().ledger().snapshot());
+    });
+    return rep;
+  }
+
+ private:
+  ScenarioConfig cfg_;
+  Node::Net net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> correct_;
+  std::uint64_t last_submit_ = 0;
+};
+
+// ERC20 multi-proposer storm: the block storm's op mix (mostly
+// commuting transfers, allowance traffic, a rare totalSupply barrier)
+// over a FIXED total op count — intensity * 16 ops round-robin across
+// the P proposer replicas, each ingesting one op per kCadence ticks.
+// The per-replica rate is what a single proposer would carry at P = 1,
+// so the aggregate rate grows with P and the storm span shrinks ~1/P.
+// The *16 total keeps every lane's share divisible by the default
+// sub-block size at P in {1, 2, 4}: each lane ends on a full size cut,
+// so the P axis compares pipelines, not leftover deadline-cut waits.
+ScenarioReport run_erc20_multiproposer_storm(const ScenarioConfig& cfg) {
+  constexpr std::size_t kAccts = 16;
+  constexpr std::uint64_t kCadence = 6;
+  const Amount kInitial = 100;
+  Erc20State initial(std::vector<Amount>(kAccts, kInitial),
+                     std::vector<std::vector<Amount>>(
+                         kAccts, std::vector<Amount>(kAccts, 2)));
+  MultiProposerHarness h(cfg, initial);
+
+  const std::size_t proposers =
+      std::clamp<std::size_t>(cfg.num_proposers, 1, cfg.num_replicas);
+  const std::size_t total_ops = cfg.intensity * 16;
+  std::vector<std::uint64_t> next_at(proposers, 10);
+  Rng rng(cfg.seed * 977 + 13);
+  for (std::size_t i = 0; i < total_ops; ++i) {
+    const auto p = static_cast<ProcessId>(i % proposers);
+    const std::uint64_t t = next_at[p];
+    next_at[p] += kCadence;
+    const auto caller = static_cast<ProcessId>(rng.below(kAccts));
+    const auto dst = static_cast<AccountId>(rng.below(kAccts));
+    const auto roll = rng.below(40);
+    if (roll == 0) {
+      h.submit_at(p, t, caller, Erc20Op::total_supply());
+    } else if (roll < 4) {
+      h.submit_at(p, t, caller,
+                  Erc20Op::approve(static_cast<ProcessId>(dst), 2));
+    } else if (roll < 8) {
+      h.submit_at(p, t, caller,
+                  Erc20Op::transfer_from(
+                      static_cast<AccountId>(rng.below(kAccts)), dst, 1));
+    } else {
+      h.submit_at(p, t, caller, Erc20Op::transfer(dst, 1 + rng.below(3)));
+    }
+  }
+
+  const Amount expected = kInitial * kAccts;
+  return h.finish([expected](const Erc20State& q)
+                      -> std::optional<std::string> {
+    if (q.total_supply() == expected) return std::nullopt;
+    return "supply " + std::to_string(q.total_supply()) +
+           " != " + std::to_string(expected);
+  });
+}
+
 // Mixed block escalate: ERC721 blocks mixing the fast path
 // (argument-footprint transfers, operator management) with the
 // state-dependent-σ admin fragment (approve/ownerOf), which the replay
@@ -992,6 +1133,7 @@ class HybridHarness {
     hcfg.relay_mode = cfg.relay_mode;
     hcfg.erb_batch = cfg.erb_batch;
     hcfg.force_consensus = cfg.hybrid_force_consensus;
+    hcfg.slow_subblock_ops = cfg.slow_subblock_ops;
     hcfg.fast_lane = cfg.fast_lane;
     for (ProcessId p = 0; p < cfg.num_replicas; ++p) {
       nodes_.push_back(std::make_unique<Node>(
@@ -1500,6 +1642,8 @@ ScenarioReport run_scenario(const ScenarioConfig& cfg) {
       return run_erc20_zipfian_shards(cfg);
     case Workload::kErc20RespendStorm:
       return run_erc20_respend_storm(cfg);
+    case Workload::kErc20MultiproposerStorm:
+      return run_erc20_multiproposer_storm(cfg);
   }
   TS_EXPECTS(false);
   return {};

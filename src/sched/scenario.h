@@ -136,6 +136,18 @@ enum class Workload : std::uint8_t {
   /// quarantines the same origins, and commits at most one branch of
   /// each conflicting pair (conservation then holds automatically).
   kErc20RespendStorm,
+  /// Multi-proposer (ISSUE 10, net/multi_proposer.h): the leaderless
+  /// pipeline — every replica cuts and publishes sub-blocks on its own
+  /// lane, consensus orders only thin reference vectors, and commits
+  /// flatten the referenced DAG cut deterministically.  The script
+  /// submits a FIXED total ERC20 op count round-robin across the
+  /// `num_proposers` proposer replicas at a fixed per-replica cadence,
+  /// so the intake SPAN (and with it the covering-proposal slot count)
+  /// shrinks ~1/P — the E26 scaling claim.  Like kErc20RespendStorm,
+  /// not in all_workloads(): the generic matrix runs P = 1 semantics
+  /// via the block pipeline already; the P axis has its own matrix in
+  /// tests/multi_proposer_test.cc.
+  kErc20MultiproposerStorm,
 };
 
 const char* to_string(FaultProfile f);
@@ -179,6 +191,14 @@ struct ScenarioConfig {
   /// fixed inside the hybrid runtime).  History-invariant like
   /// relay_mode; amortizes the per-broadcast header + signature bytes.
   std::size_t erb_batch = 1;
+  /// Hybrid workloads: slow-lane sub-block size — consensus-class ops
+  /// buffered into ONE SlowCmd proposal (net/hybrid_replica.h; the
+  /// ISSUE 10 sub-block idea on the consensus lane).  1 = the
+  /// one-command-per-slot baseline, bit-identical to the pre-sub-block
+  /// runtime.  >1 changes slot COMPOSITION (fewer, fatter barriers),
+  /// so unlike relay_mode it is not history-invariant — but the result
+  /// is still a deterministic function of (seed, fault, knobs).
+  std::size_t slow_subblock_ops = 1;
 
   // Recovery knobs (ISSUE 7; block-pipeline workloads only — see
   // net/recovery.h).  All recovery traffic is auxiliary-class, so in a
@@ -215,6 +235,15 @@ struct ScenarioConfig {
   /// Probability gate (percent) on the fork: an equivocator's eligible
   /// SEND is forked iff a per-seq deterministic hash lands below this.
   std::uint32_t equivocate_pct = 100;
+
+  // Multi-proposer knobs (ISSUE 10; kErc20MultiproposerStorm only — see
+  // net/multi_proposer.h).  The committed history is a pure function of
+  // (seed, fault, these knobs) and independent of replay_threads.
+  /// Replicas 0..num_proposers-1 broadcast reference proposals (clamped
+  /// to [1, num_replicas]); every replica publishes sub-blocks.
+  std::size_t num_proposers = 1;
+  /// Ops per sub-block (the dissemination batch's size cut).
+  std::size_t subblock_max_ops = 4;
 };
 
 /// Simulated-time commit-latency summary (submit -> local commit on the
@@ -297,6 +326,17 @@ struct ScenarioReport {
   std::size_t quarantined_origins = 0;  ///< origins stripped of the fast lane
   std::size_t equivocation_commits = 0; ///< proven-conflicting slots committed
                                         ///< (exactly one branch each)
+
+  // Multi-proposer counters (kErc20MultiproposerStorm; 0 elsewhere).
+  /// Fresh sub-block references applied per committed slot on the
+  /// reference replica — the DAG-cut width (how much concurrent intake
+  /// each consensus decision retires; rises with num_proposers while
+  /// `slots` falls).
+  double subblocks_per_slot = 0;
+  /// Duplicate sub-block references dropped at commit on the reference
+  /// replica (racing proposers covering the same cut) — nonzero proves
+  /// the exactly-once guard ran; identical on every correct replica.
+  std::uint64_t dup_refs_dropped = 0;
 
   bool agreement = false;
   bool conservation = false;
